@@ -1,0 +1,44 @@
+"""Table 1: the simple-edit score lattice at threshold 276.
+
+The scoring scheme must reproduce every published row exactly.  Our
+enumeration also surfaces one boundary row the paper's table omits
+(3 consecutive insertions, score 276).
+"""
+
+from conftest import emit
+
+from repro.core import enumerate_simple_profiles
+from repro.util import format_table
+
+PAPER_ROWS = {
+    "None": 300,
+    "1 Mismatch": 290,
+    "1 Deletion": 286,
+    "1 Insertion": 284,
+    "2 Consecutive Deletions": 284,
+    "3 Consecutive Deletions": 282,
+    "2 Mismatches": 280,
+    "2 Consecutive Insertions": 280,
+    "4 Consecutive Deletions": 280,
+    "5 Consecutive Deletions": 278,
+    "1 Mismatch & 1 Deletion": 276,
+}
+
+
+def test_tab01_edit_scores(benchmark):
+    profiles = benchmark.pedantic(
+        lambda: enumerate_simple_profiles(150, max_run=5),
+        rounds=1, iterations=1)
+    measured = {p.describe(): p.score for p in profiles}
+    rows = []
+    for label, paper_score in PAPER_ROWS.items():
+        rows.append((label, paper_score, measured.get(label, "MISSING")))
+    extras = sorted(set(measured) - set(PAPER_ROWS))
+    for label in extras:
+        rows.append((f"{label} (not in paper's table)", "-",
+                     measured[label]))
+    emit("tab01_edit_scores",
+         format_table(("edit(s)", "paper score", "measured score"), rows,
+                      title="Table 1 — edits with alignment score >= 276"))
+    for label, paper_score in PAPER_ROWS.items():
+        assert measured.get(label) == paper_score, label

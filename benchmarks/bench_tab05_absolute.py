@@ -1,0 +1,38 @@
+"""Table 5: absolute area / power / throughput of hardware accelerators.
+
+Paper: GenCache 33.7 mm^2 / 11.2 W / 2,172 Mbp/s; GenDP 315.8 / 209.1 /
+24,300; GenPairX+GenDP 381.1 / 209.0 / 57,810 (26.6x GenCache, 2.4x
+GenDP in throughput).
+"""
+
+from conftest import emit
+
+from repro.hw import (GENCACHE, GENDP_STANDALONE, GenPairXDesign,
+                      WorkloadProfile)
+from repro.util import format_table
+
+
+def test_tab05_absolute(benchmark):
+    design = benchmark.pedantic(
+        lambda: GenPairXDesign(WorkloadProfile.paper(),
+                               simulated_pairs=8000).compose(),
+        rounds=1, iterations=1)
+    ours = design.as_system_perf("GenPairX + GenDP")
+    rows = [
+        ("GenCache", GENCACHE.area_mm2, GENCACHE.power_w,
+         f"{GENCACHE.throughput_mbps:,.0f}", "2,172"),
+        ("GenDP", GENDP_STANDALONE.area_mm2, GENDP_STANDALONE.power_w,
+         f"{GENDP_STANDALONE.throughput_mbps:,.0f}", "24,300"),
+        ("GenPairX + GenDP", f"{ours.area_mm2:.1f}",
+         f"{ours.power_w:.1f}", f"{ours.throughput_mbps:,.0f}",
+         "57,810"),
+    ]
+    table = format_table(
+        ("accelerator", "area mm2", "power W", "tput Mbp/s",
+         "paper tput"), rows,
+        title="Table 5 — absolute performance of hardware accelerators")
+    emit("tab05_absolute", table)
+    assert abs(ours.throughput_mbps - 57_810) / 57_810 < 0.1
+    assert 20 < ours.throughput_mbps / GENCACHE.throughput_mbps < 32
+    assert 2.0 < ours.throughput_mbps / GENDP_STANDALONE.throughput_mbps \
+        < 2.9

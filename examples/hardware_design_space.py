@@ -1,0 +1,76 @@
+"""Explore the GenPairX hardware design space.
+
+Runs the NMSL event simulator across window sizes and memory
+technologies, then composes full GenPairX + GenDP designs and prints
+their module sizing, area/power breakdown, and end-to-end efficiency —
+the paper's §7.2-§7.5 methodology as a library call.
+
+Run:  python examples/hardware_design_space.py
+"""
+
+import numpy as np
+
+from repro.hw import (DDR5, GDDR6, GenPairXDesign, HBM2, NMSLConfig,
+                      NMSLSimulator, WorkloadProfile,
+                      synthetic_location_counts)
+from repro.util import format_table
+
+
+def window_sweep() -> None:
+    print("== NMSL sliding-window sweep (HBM2, Fig 8) ==")
+    counts = synthetic_location_counts(np.random.default_rng(1), 8000)
+    rows = []
+    for window in (1, 16, 256, 1024, None):
+        report = NMSLSimulator(NMSLConfig(window_size=window)).simulate(
+            counts)
+        rows.append(("No Window" if window is None else window,
+                     f"{report.throughput_mpairs_per_s:.1f}",
+                     f"{report.bandwidth_gbps:.1f}",
+                     report.max_channel_queue_depth,
+                     f"{report.centralized_buffer.size_mb:.2f}"))
+    print(format_table(("window", "MPair/s", "GB/s", "max FIFO depth",
+                        "buffer MB"), rows))
+
+
+def memory_comparison() -> None:
+    print("\n== Memory technology comparison (Table 6) ==")
+    rows = []
+    for memory in (DDR5, GDDR6, HBM2):
+        design = GenPairXDesign(WorkloadProfile.paper(), memory=memory,
+                                simulated_pairs=5000).compose()
+        cost = design.total_cost
+        rows.append((memory.name, memory.channels,
+                     f"{design.target_mpairs:.1f}",
+                     f"{design.throughput_mbps:,.0f}",
+                     f"{cost.area_mm2:.1f}",
+                     f"{cost.power_mw / 1e3:.1f}"))
+    print(format_table(("memory", "channels", "MPair/s", "Mbp/s",
+                        "area mm2", "power W"), rows))
+
+
+def full_design() -> None:
+    print("\n== Composed GenPairX + GenDP design (Tables 3-5) ==")
+    design = GenPairXDesign(WorkloadProfile.paper(),
+                            simulated_pairs=8000).compose()
+    rows = [(module.name, f"{module.throughput_mpairs:.1f}",
+             f"{module.latency_cycles:.1f}", module.instances)
+            for module in design.modules]
+    print(format_table(("module", "MPair/s per inst", "latency cyc",
+                        "instances"), rows))
+    print()
+    rows = [(name, f"{area:.3f}", f"{power:,.1f}")
+            for name, area, power in design.area_power_rows()]
+    print(format_table(("component", "area mm2", "power mW"), rows))
+    perf = design.as_system_perf()
+    print(f"\nEnd-to-end: {perf.throughput_mbps:,.0f} Mbp/s, "
+          f"{perf.per_area:.1f} Mbp/s/mm2, {perf.per_watt:.1f} Mbp/s/W")
+
+
+def main() -> None:
+    window_sweep()
+    memory_comparison()
+    full_design()
+
+
+if __name__ == "__main__":
+    main()

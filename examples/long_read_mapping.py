@@ -1,0 +1,54 @@
+"""Long-read mapping via interleaved pseudo-pairs (§4.7).
+
+Simulates PacBio-HiFi-like long reads (scaled down in length), maps them
+with the GenPair front end plus Location Voting and banded-DP finishing,
+and reports placement accuracy.
+
+Run:  python examples/long_read_mapping.py
+"""
+
+import numpy as np
+
+from repro.core import LongReadMapper, SeedMap
+from repro.genome import ReadSimulator, generate_reference
+from repro.util import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    print("1. Reference + SeedMap ...")
+    reference = generate_reference(rng, (250_000,))
+    seedmap = SeedMap.build(reference)
+
+    print("2. Simulating 20 HiFi-like long reads (~4kb, 0.5% error) ...")
+    simulator = ReadSimulator(reference, seed=13)
+    reads = simulator.simulate_long_reads(20, length_mean=4000,
+                                          length_sd=800,
+                                          error_rate=0.005)
+
+    print("3. Mapping with pseudo-pairs + Location Voting ...")
+    mapper = LongReadMapper(reference, seedmap=seedmap)
+    rows = []
+    correct = 0
+    for read in reads:
+        record = mapper.map_read(read.codes, read.name)
+        if record.mapped:
+            delta = record.position - read.ref_start
+            ok = abs(delta) <= 100
+            correct += ok
+            rows.append((read.name, len(read.codes), record.chromosome,
+                         record.position, delta, "yes" if ok else "NO"))
+        else:
+            rows.append((read.name, len(read.codes), "-", "-", "-",
+                         "unmapped"))
+    print(format_table(("read", "length", "chrom", "position",
+                        "delta vs truth", "correct"), rows))
+    print(f"\n{correct}/{len(reads)} reads placed correctly; "
+          f"{mapper.stats.pseudo_pairs} pseudo-pairs evaluated, "
+          f"{mapper.stats.dp_cells:,} DP cells spent "
+          f"(long reads always finish with DP, §4.7)")
+
+
+if __name__ == "__main__":
+    main()

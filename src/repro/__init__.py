@@ -1,0 +1,24 @@
+"""GenPairX reproduction: paired-end read mapping, co-designed HW model.
+
+Public API layout:
+
+* :mod:`repro.genome` — sequences, references, simulation, CIGAR, SAM;
+* :mod:`repro.hashing` — xxHash32 (scalar and vectorized);
+* :mod:`repro.align` — affine-gap DP aligners and chaining;
+* :mod:`repro.mapper` — the baseline seed-chain-align mapper ("MM2");
+* :mod:`repro.core` — the GenPair algorithm (SeedMap, partitioned
+  seeding, paired-adjacency filtering, light alignment, pipeline);
+* :mod:`repro.hw` — the GenPairX hardware model (NMSL, sizing, costs);
+* :mod:`repro.filters` — pre-alignment filter baselines (SHD,
+  GateKeeper, FastHASH adjacency, exact match);
+* :mod:`repro.variants` — pileup caller, truth comparison, mapeval;
+* :mod:`repro.analysis` — the paper's §3 profiling observations.
+"""
+
+from . import align, analysis, core, filters, genome, hashing, hw, \
+    mapper, util, variants
+
+__version__ = "1.0.0"
+
+__all__ = ["align", "analysis", "core", "filters", "genome", "hashing",
+           "hw", "mapper", "util", "variants", "__version__"]

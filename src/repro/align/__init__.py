@@ -1,0 +1,12 @@
+"""DP alignment substrate: scoring, Gotoh aligners, banding, chaining."""
+
+from .banded import align_banded
+from .chaining import Anchor, Chain, ChainingResult, chain_anchors
+from .dp import NEG_INF, AlignmentResult, align_local, align_semiglobal
+from .scoring import DEFAULT_SCHEME, HIGH_QUALITY_THRESHOLD, ScoringScheme
+
+__all__ = [
+    "Anchor", "AlignmentResult", "Chain", "ChainingResult",
+    "DEFAULT_SCHEME", "HIGH_QUALITY_THRESHOLD", "NEG_INF", "ScoringScheme",
+    "align_banded", "align_local", "align_semiglobal", "chain_anchors",
+]

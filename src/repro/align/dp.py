@@ -1,0 +1,277 @@
+"""Affine-gap dynamic-programming alignment (Gotoh) with traceback.
+
+These are the "computationally expensive DP operations" the paper works to
+avoid (§1): a full Smith-Waterman/Needleman-Wunsch substrate with affine
+gaps, used by (a) the baseline mapper's alignment stage, (b) GenPair's DP
+fallback for the read-pairs Light Alignment cannot handle (Fig 10), and
+(c) the tests that validate Light Alignment optimality.
+
+Two entry points:
+
+* :func:`align_semiglobal` — the read is aligned end-to-end, reference
+  flanks are free (the "fit" alignment a mapper performs inside a candidate
+  window);
+* :func:`align_local` — classic Smith-Waterman with soft-clips.
+
+Every result carries ``cells``, the number of DP matrix cells computed,
+which the hardware model converts to GenDP MCUPS demand (§7.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..genome.cigar import Cigar
+from .scoring import DEFAULT_SCHEME, ScoringScheme
+
+#: Effectively minus infinity for DP initialization.
+NEG_INF = -(10 ** 9)
+
+# Traceback codes for the H (best) matrix.
+_FROM_DIAG = 0
+_FROM_E = 1  # deletion state
+_FROM_F = 2  # insertion state
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Outcome of one pairwise alignment.
+
+    ``ref_start``/``ref_end`` delimit the reference span consumed (relative
+    to the window passed in); ``read_start``/``read_end`` likewise for the
+    read (non-trivial only for local alignment).  ``cells`` counts DP cells
+    computed and feeds the MCUPS accounting of the hardware model.
+    """
+
+    score: int
+    cigar: Cigar
+    ref_start: int
+    ref_end: int
+    read_start: int
+    read_end: int
+    cells: int
+
+
+def align_semiglobal(read: np.ndarray, ref: np.ndarray,
+                     scheme: ScoringScheme = DEFAULT_SCHEME
+                     ) -> AlignmentResult:
+    """Align ``read`` end-to-end against a free-flank reference window."""
+    read_list = np.asarray(read, dtype=np.uint8).tolist()
+    ref_list = np.asarray(ref, dtype=np.uint8).tolist()
+    n, m = len(read_list), len(ref_list)
+    if n == 0:
+        return AlignmentResult(0, Cigar(()), 0, 0, 0, 0, 0)
+    match, mismatch = scheme.match, scheme.mismatch
+    open_cost = scheme.gap_open + scheme.gap_extend
+    extend = scheme.gap_extend
+
+    h_prev = [0] * (m + 1)
+    f_prev = [NEG_INF] * (m + 1)
+    ptr_h = [bytearray(m + 1) for _ in range(n + 1)]
+    ptr_e = [bytearray(m + 1) for _ in range(n + 1)]
+    ptr_f = [bytearray(m + 1) for _ in range(n + 1)]
+
+    for i in range(1, n + 1):
+        base = read_list[i - 1]
+        h_row = [NEG_INF] * (m + 1)
+        f_row = [NEG_INF] * (m + 1)
+        h_row[0] = -(scheme.gap_open + extend * i)
+        f_row[0] = h_row[0]
+        e_val = NEG_INF
+        row_ptr_h = ptr_h[i]
+        row_ptr_e = ptr_e[i]
+        row_ptr_f = ptr_f[i]
+        for j in range(1, m + 1):
+            # E: gap in the read (deletion) — depends on this row, j-1.
+            open_e = h_row[j - 1] - open_cost
+            ext_e = e_val - extend
+            if open_e >= ext_e:
+                e_val = open_e
+                row_ptr_e[j] = 0
+            else:
+                e_val = ext_e
+                row_ptr_e[j] = 1
+            # F: gap in the reference (insertion) — previous row, same j.
+            open_f = h_prev[j] - open_cost
+            ext_f = f_prev[j] - extend
+            if open_f >= ext_f:
+                f_row[j] = open_f
+                row_ptr_f[j] = 0
+            else:
+                f_row[j] = ext_f
+                row_ptr_f[j] = 1
+            diag = h_prev[j - 1] + (match if base == ref_list[j - 1]
+                                    else -mismatch)
+            best = diag
+            origin = _FROM_DIAG
+            if e_val > best:
+                best = e_val
+                origin = _FROM_E
+            if f_row[j] > best:
+                best = f_row[j]
+                origin = _FROM_F
+            h_row[j] = best
+            row_ptr_h[j] = origin
+        h_prev = h_row
+        f_prev = f_row
+
+    end_j = max(range(m + 1), key=lambda j: h_prev[j])
+    score = h_prev[end_j]
+    cigar, start_j = _traceback(read_list, ref_list, ptr_h, ptr_e, ptr_f,
+                                n, end_j, stop_at_row0=True)
+    return AlignmentResult(score=score, cigar=cigar, ref_start=start_j,
+                           ref_end=end_j, read_start=0, read_end=n,
+                           cells=n * m)
+
+
+def align_local(read: np.ndarray, ref: np.ndarray,
+                scheme: ScoringScheme = DEFAULT_SCHEME) -> AlignmentResult:
+    """Smith-Waterman local alignment; unaligned read ends are soft-clipped."""
+    read_list = np.asarray(read, dtype=np.uint8).tolist()
+    ref_list = np.asarray(ref, dtype=np.uint8).tolist()
+    n, m = len(read_list), len(ref_list)
+    if n == 0 or m == 0:
+        return AlignmentResult(0, Cigar(()), 0, 0, 0, 0, 0)
+    match, mismatch = scheme.match, scheme.mismatch
+    open_cost = scheme.gap_open + scheme.gap_extend
+    extend = scheme.gap_extend
+
+    h_prev = [0] * (m + 1)
+    f_prev = [NEG_INF] * (m + 1)
+    ptr_h = [bytearray(m + 1) for _ in range(n + 1)]
+    ptr_e = [bytearray(m + 1) for _ in range(n + 1)]
+    ptr_f = [bytearray(m + 1) for _ in range(n + 1)]
+    # A fourth origin meaning "alignment starts here" (score clamped at 0).
+    from_start = 3
+
+    best_score, best_i, best_j = 0, 0, 0
+    for i in range(1, n + 1):
+        base = read_list[i - 1]
+        h_row = [0] * (m + 1)
+        f_row = [NEG_INF] * (m + 1)
+        e_val = NEG_INF
+        row_ptr_h = ptr_h[i]
+        row_ptr_e = ptr_e[i]
+        row_ptr_f = ptr_f[i]
+        for j in range(1, m + 1):
+            open_e = h_row[j - 1] - open_cost
+            ext_e = e_val - extend
+            if open_e >= ext_e:
+                e_val = open_e
+                row_ptr_e[j] = 0
+            else:
+                e_val = ext_e
+                row_ptr_e[j] = 1
+            open_f = h_prev[j] - open_cost
+            ext_f = f_prev[j] - extend
+            if open_f >= ext_f:
+                f_row[j] = open_f
+                row_ptr_f[j] = 0
+            else:
+                f_row[j] = ext_f
+                row_ptr_f[j] = 1
+            diag = h_prev[j - 1] + (match if base == ref_list[j - 1]
+                                    else -mismatch)
+            best = diag
+            origin = _FROM_DIAG
+            if e_val > best:
+                best = e_val
+                origin = _FROM_E
+            if f_row[j] > best:
+                best = f_row[j]
+                origin = _FROM_F
+            if best <= 0:
+                best = 0
+                origin = from_start
+            h_row[j] = best
+            row_ptr_h[j] = origin
+            if best > best_score:
+                best_score, best_i, best_j = best, i, j
+        h_prev = h_row
+        f_prev = f_row
+
+    if best_score == 0:
+        return AlignmentResult(0, Cigar(()), 0, 0, 0, 0, n * m)
+    cigar_core, start_j, start_i = _traceback_local(
+        read_list, ref_list, ptr_h, ptr_e, ptr_f, best_i, best_j,
+        from_start)
+    pairs: List[Tuple[int, str]] = []
+    if start_i > 0:
+        pairs.append((start_i, "S"))
+    pairs.extend(cigar_core.ops)
+    if best_i < n:
+        pairs.append((n - best_i, "S"))
+    return AlignmentResult(score=best_score, cigar=Cigar.from_pairs(pairs),
+                           ref_start=start_j, ref_end=best_j,
+                           read_start=start_i, read_end=best_i,
+                           cells=n * m)
+
+
+def _traceback(read_list, ref_list, ptr_h, ptr_e, ptr_f, end_i, end_j,
+               stop_at_row0: bool):
+    """Walk pointers from ``(end_i, end_j)`` back to row 0 / column 0."""
+    ops: List[Tuple[int, str]] = []
+    i, j = end_i, end_j
+    state = "H"
+    while i > 0:
+        if j == 0:
+            ops.append((i, "I"))
+            break
+        if state == "H":
+            origin = ptr_h[i][j]
+            if origin == _FROM_DIAG:
+                op = "=" if read_list[i - 1] == ref_list[j - 1] else "X"
+                ops.append((1, op))
+                i -= 1
+                j -= 1
+            elif origin == _FROM_E:
+                state = "E"
+            else:
+                state = "F"
+        elif state == "E":
+            ops.append((1, "D"))
+            if ptr_e[i][j] == 0:
+                state = "H"
+            j -= 1
+        else:  # state == "F"
+            ops.append((1, "I"))
+            if ptr_f[i][j] == 0:
+                state = "H"
+            i -= 1
+    return Cigar.from_pairs(reversed(ops)), j
+
+
+def _traceback_local(read_list, ref_list, ptr_h, ptr_e, ptr_f, end_i, end_j,
+                     from_start: int):
+    """Traceback for local alignment: stop at the clamped-to-zero cell."""
+    ops: List[Tuple[int, str]] = []
+    i, j = end_i, end_j
+    state = "H"
+    while i > 0 and j > 0:
+        if state == "H":
+            origin = ptr_h[i][j]
+            if origin == from_start:
+                break
+            if origin == _FROM_DIAG:
+                op = "=" if read_list[i - 1] == ref_list[j - 1] else "X"
+                ops.append((1, op))
+                i -= 1
+                j -= 1
+            elif origin == _FROM_E:
+                state = "E"
+            else:
+                state = "F"
+        elif state == "E":
+            ops.append((1, "D"))
+            if ptr_e[i][j] == 0:
+                state = "H"
+            j -= 1
+        else:
+            ops.append((1, "I"))
+            if ptr_f[i][j] == 0:
+                state = "H"
+            i -= 1
+    return Cigar.from_pairs(reversed(ops)), j, i

@@ -1,0 +1,16 @@
+"""Profiling analyses reproducing the paper's §3 observations."""
+
+from .breakdown import BreakdownReport, profile_breakdown
+from .edit_patterns import (EditPatternReport, PairEditRecord,
+                            analyze_edit_patterns, classify_simple)
+from .seed_opt import SeedLengthCurve, seed_length_curve
+from .exact_match import (ExactMatchReport, SeedLocationReport,
+                          profile_exact_matches, profile_seed_locations)
+
+__all__ = [
+    "BreakdownReport", "EditPatternReport", "ExactMatchReport",
+    "PairEditRecord", "SeedLocationReport", "analyze_edit_patterns",
+    "SeedLengthCurve", "seed_length_curve",
+    "classify_simple", "profile_breakdown", "profile_exact_matches",
+    "profile_seed_locations",
+]

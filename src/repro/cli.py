@@ -1,0 +1,229 @@
+"""Command-line interface: the reproduction as a usable tool.
+
+Subcommands mirror a real read-mapping toolchain:
+
+* ``simulate`` — generate a synthetic reference (FASTA), a diploid donor
+  truth set (VCF), and paired-end reads (FASTQ x2);
+* ``map``      — map paired FASTQ files against a FASTA reference with
+  the GenPair pipeline (plus optional MM2 fallback) and write SAM;
+* ``call``     — pile up a SAM file and call variants to VCF;
+* ``design``   — compose the GenPairX + GenDP hardware design and print
+  the Table 3/4/5-style report.
+
+Example::
+
+    python -m repro.cli simulate --out demo --pairs 500
+    python -m repro.cli map --reference demo_ref.fa \
+        --reads1 demo_1.fq --reads2 demo_2.fq --out demo.sam
+    python -m repro.cli call --reference demo_ref.fa --sam demo.sam \
+        --out demo.vcf
+    python -m repro.cli design --memory HBM2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .genome import (ErrorModel, ReadSimulator, generate_reference,
+                         plant_variants, write_fasta, write_fastq)
+    from .variants import write_vcf
+
+    rng = np.random.default_rng(args.seed)
+    lengths = tuple(int(x) for x in args.chromosomes.split(","))
+    reference = generate_reference(rng, lengths)
+    donor = plant_variants(rng, reference)
+    error_model = (ErrorModel.giab_like() if args.profile == "giab"
+                   else ErrorModel.mason_default(args.error_rate))
+    simulator = ReadSimulator(reference, donor=donor,
+                              error_model=error_model, seed=args.seed + 1)
+    pairs = simulator.simulate_pairs(args.pairs)
+
+    write_fasta(f"{args.out}_ref.fa", reference)
+    write_vcf(f"{args.out}_truth.vcf", donor.truth, reference=reference)
+    write_fastq(f"{args.out}_1.fq",
+                ((pair.read1.name, pair.read1.codes) for pair in pairs))
+    write_fastq(f"{args.out}_2.fq",
+                ((pair.read2.name, pair.read2.codes) for pair in pairs))
+    print(f"wrote {args.out}_ref.fa ({reference.total_length:,} bp), "
+          f"{args.out}_truth.vcf ({len(donor.truth)} variants), "
+          f"{args.out}_1.fq / {args.out}_2.fq ({args.pairs} pairs)")
+    return 0
+
+
+def _read_pairs(reads1: str, reads2: str):
+    from .genome import read_fastq
+
+    pairs = []
+    for (name1, codes1), (name2, codes2) in zip(read_fastq(reads1),
+                                                read_fastq(reads2)):
+        name = name1.rsplit("/", 1)[0]
+        pairs.append((codes1, codes2, name))
+    return pairs
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .core import GenPairConfig, GenPairPipeline
+    from .genome import read_fasta, write_sam
+    from .mapper import Mm2LikeMapper, make_full_fallback
+
+    reference = read_fasta(args.reference)
+    pairs = _read_pairs(args.reads1, args.reads2)
+    fallback = None
+    if not args.no_fallback:
+        fallback = make_full_fallback(Mm2LikeMapper(reference))
+    config = GenPairConfig(delta=args.delta,
+                           filter_threshold=args.filter_threshold)
+    pipeline = GenPairPipeline(reference, config=config,
+                               full_fallback=fallback)
+    results = pipeline.map_pairs(pairs)
+    records = []
+    for result in results:
+        records.extend([result.record1, result.record2])
+    count = write_sam(args.out, records, reference=reference)
+    stats = pipeline.stats
+    print(f"mapped {stats.pairs_total} pairs -> {count} records "
+          f"({args.out})")
+    print(f"  light-aligned {stats.light_aligned_pct:.1f}% | "
+          f"DP-at-candidates {stats.light_fallback_pct:.1f}% | "
+          f"full fallback "
+          f"{stats.seedmap_fallback_pct + stats.filter_fallback_pct:.1f}%"
+          f" | unmapped {stats.unmapped}")
+    return 0
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    from .genome import AlignmentRecord, Cigar, encode, read_fasta
+    from .variants import Pileup, call_variants, write_vcf
+
+    reference = read_fasta(args.reference)
+    pileup = Pileup(reference)
+    used = 0
+    with open(args.sam) as handle:
+        for line in handle:
+            if line.startswith("@"):
+                continue
+            fields = line.rstrip("\n").split("\t")
+            flag = int(fields[1])
+            if flag & 4 or fields[5] == "*" or fields[9] == "*":
+                continue
+            record = AlignmentRecord(
+                query_name=fields[0], chromosome=fields[2],
+                position=int(fields[3]) - 1,
+                strand="-" if flag & 16 else "+",
+                cigar=Cigar.parse(fields[5]),
+                read_codes=_sam_codes(fields[9], flag),
+                mapped=True)
+            pileup.add_record(record)
+            used += 1
+    calls = call_variants(pileup)
+    count = write_vcf(args.out, calls, reference=reference)
+    print(f"piled up {used} records, wrote {count} calls to {args.out}")
+    return 0
+
+
+def _sam_codes(seq: str, flag: int):
+    """SAM stores the reverse-strand read already reverse-complemented;
+    our records store the as-sequenced read, so undo it."""
+    from .genome import encode, reverse_complement
+
+    codes = encode(seq, allow_n=True)
+    codes[codes == 4] = 0  # N -> arbitrary concrete base
+    if flag & 16:
+        return reverse_complement(codes)
+    return codes
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from .hw import (GenPairXDesign, MEMORY_PRESETS, WorkloadProfile,
+                     host_bandwidth, link_feasibility)
+    from .util import format_table
+
+    memory = MEMORY_PRESETS[args.memory]
+    design = GenPairXDesign(WorkloadProfile.paper(), memory=memory,
+                            window_size=args.window,
+                            simulated_pairs=args.simulated_pairs
+                            ).compose()
+    print(format_table(
+        ("module", "MPair/s per inst", "latency cyc", "instances"),
+        [(m.name, f"{m.throughput_mpairs:.1f}",
+          f"{m.latency_cycles:.1f}", m.instances)
+         for m in design.modules],
+        title=f"Module sizing ({memory.name}, window {args.window})"))
+    print()
+    print(format_table(
+        ("component", "area mm2", "power mW"),
+        [(name, f"{area:.3f}", f"{power:,.1f}")
+         for name, area, power in design.area_power_rows()],
+        title="Area / power breakdown"))
+    perf = design.as_system_perf()
+    print(f"\nend-to-end: {perf.throughput_mbps:,.0f} Mbp/s | "
+          f"{perf.per_area:.1f} Mbp/s/mm2 | {perf.per_watt:.1f} Mbp/s/W")
+    report = host_bandwidth(design.target_mpairs)
+    print(f"host interface: in {report.input_gbps:.1f} GB/s, out "
+          f"{report.output_gbps:.1f} GB/s")
+    for link, (headroom, fits) in link_feasibility(report).items():
+        print(f"  {link}: headroom {headroom:.1f}x "
+              f"({'OK' if fits else 'insufficient'})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GenPairX reproduction toolchain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate",
+                              help="generate reference + truth + reads")
+    simulate.add_argument("--out", default="sim",
+                          help="output file prefix")
+    simulate.add_argument("--pairs", type=int, default=500)
+    simulate.add_argument("--chromosomes", default="200000,100000",
+                          help="comma-separated chromosome lengths")
+    simulate.add_argument("--profile", choices=("giab", "mason"),
+                          default="giab")
+    simulate.add_argument("--error-rate", type=float, default=0.004,
+                          help="per-base error rate (mason profile)")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    map_cmd = sub.add_parser("map", help="map paired FASTQ to SAM")
+    map_cmd.add_argument("--reference", required=True)
+    map_cmd.add_argument("--reads1", required=True)
+    map_cmd.add_argument("--reads2", required=True)
+    map_cmd.add_argument("--out", default="out.sam")
+    map_cmd.add_argument("--delta", type=int, default=500)
+    map_cmd.add_argument("--filter-threshold", type=int, default=500)
+    map_cmd.add_argument("--no-fallback", action="store_true",
+                         help="disable the MM2 full-DP fallback")
+    map_cmd.set_defaults(func=_cmd_map)
+
+    call = sub.add_parser("call", help="call variants from a SAM file")
+    call.add_argument("--reference", required=True)
+    call.add_argument("--sam", required=True)
+    call.add_argument("--out", default="calls.vcf")
+    call.set_defaults(func=_cmd_call)
+
+    design = sub.add_parser("design",
+                            help="compose the hardware design report")
+    design.add_argument("--memory", choices=("HBM2", "GDDR6", "DDR5"),
+                        default="HBM2")
+    design.add_argument("--window", type=int, default=1024)
+    design.add_argument("--simulated-pairs", type=int, default=6000)
+    design.set_defaults(func=_cmd_design)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

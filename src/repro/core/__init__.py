@@ -1,0 +1,38 @@
+"""GenPair core: the paper's primary algorithmic contribution (§4).
+
+Subpackages by pipeline stage:
+
+* :mod:`~repro.core.seedmap` — offline SeedMap construction (§4.2);
+* :mod:`~repro.core.seeding` — Partitioned Seeding (§4.3);
+* :mod:`~repro.core.query` — SeedMap Query (§4.4);
+* :mod:`~repro.core.pairfilter` — Paired-Adjacency Filtering (§4.5);
+* :mod:`~repro.core.light_align` — Light Alignment (§4.6);
+* :mod:`~repro.core.pipeline` — the end-to-end online dataflow + fallbacks;
+* :mod:`~repro.core.longread` — long-read mode via Location Voting (§4.7).
+"""
+
+from .insert_estimator import (InsertSizeEstimate, InsertSizeEstimator,
+                               calibrate_delta)
+from .light_align import (EditProfile, LightAligner, LightAlignment,
+                          enumerate_simple_profiles)
+from .longread import LongReadConfig, LongReadMapper, LongReadStats
+from .pairfilter import DEFAULT_DELTA, FilterResult, filter_adjacent
+from .pipeline import (STAGE_DP_CANDIDATE, STAGE_FULL_DP, STAGE_LIGHT,
+                       STAGE_UNMAPPED, GenPairConfig, GenPairPipeline,
+                       PairResult, PipelineStats)
+from .query import QueryResult, query_pair, query_read
+from .seedmap import (DEFAULT_FILTER_THRESHOLD, LOCATION_ENTRY_BYTES,
+                      SEED_TABLE_ENTRY_BYTES, SeedMap, SeedMapStats)
+from .seeding import PairSeeds, Seed, partition_pair, partition_read
+
+__all__ = [
+    "DEFAULT_DELTA", "DEFAULT_FILTER_THRESHOLD", "EditProfile",
+    "InsertSizeEstimate", "InsertSizeEstimator", "calibrate_delta",
+    "FilterResult", "GenPairConfig", "GenPairPipeline", "LightAligner",
+    "LightAlignment", "LOCATION_ENTRY_BYTES", "LongReadConfig",
+    "LongReadMapper", "LongReadStats", "PairResult", "PairSeeds",
+    "PipelineStats", "QueryResult", "SEED_TABLE_ENTRY_BYTES", "STAGE_DP_CANDIDATE",
+    "STAGE_FULL_DP", "STAGE_LIGHT", "STAGE_UNMAPPED", "Seed", "SeedMap",
+    "SeedMapStats", "enumerate_simple_profiles", "filter_adjacent",
+    "partition_pair", "partition_read", "query_pair", "query_read",
+]

@@ -1,0 +1,402 @@
+"""The online GenPair pipeline: seed -> query -> filter -> light-align (§4).
+
+This is the paper's Fig 3 dataflow with the Fig 10 fallback arcs:
+
+1. **Partitioned Seeding** extracts and hashes six 50bp seeds per pair;
+2. **SeedMap Query** resolves them to implied read-start candidates; pairs
+   with no usable seed hits fall back to the traditional full-DP pipeline;
+3. **Paired-Adjacency Filtering** keeps joint candidates within Δ; pairs
+   with none fall back to the full-DP pipeline;
+4. **Light Alignment** aligns both reads DP-free; pairs it cannot handle
+   go to *DP alignment at the already-identified candidates* (bypassing
+   seeding and chaining — the cheap fallback arc of Fig 10).
+
+Every stage records the counters the hardware model and the Fig 10 / 12
+benches consume: locations fetched, filter iterations, light-alignment
+attempts, and DP cells for the residual work (GenDP MCUPS sizing, §7.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..align.banded import align_banded
+from ..align.scoring import DEFAULT_SCHEME, HIGH_QUALITY_THRESHOLD, \
+    ScoringScheme
+from ..genome.cigar import Cigar
+from ..genome.reference import ReferenceGenome
+from ..genome.sam import (METHOD_DP, METHOD_EXACT, METHOD_LIGHT,
+                          AlignmentRecord)
+from ..genome.sequence import reverse_complement
+from .light_align import LightAligner
+from .pairfilter import DEFAULT_DELTA, filter_adjacent
+from .query import query_read
+from .seedmap import DEFAULT_FILTER_THRESHOLD, SeedMap
+from .seeding import PairSeeds, partition_pair
+
+#: Stage labels recorded on every mapped pair (Fig 10 vocabulary).
+STAGE_LIGHT = "light"            # mapped and aligned by GenPair
+STAGE_DP_CANDIDATE = "dp_candidate"  # GenPair placed it, DP aligned it
+STAGE_FULL_DP = "full_dp"        # fell back to the traditional pipeline
+STAGE_UNMAPPED = "unmapped"
+
+#: Signature of the traditional-pipeline fallback: maps one pair, returns
+#: the two records plus the DP cell count it spent, or ``None`` if it
+#: could not place the pair either.
+FullFallback = Callable[[np.ndarray, np.ndarray, str],
+                        Optional[Tuple[AlignmentRecord, AlignmentRecord,
+                                       int]]]
+
+
+@dataclass(frozen=True)
+class GenPairConfig:
+    """Tunable parameters of the GenPair pipeline (paper defaults)."""
+
+    seed_length: int = 50
+    seeds_per_read: int = 3
+    delta: int = DEFAULT_DELTA
+    filter_threshold: Optional[int] = DEFAULT_FILTER_THRESHOLD
+    max_edits: int = 5
+    score_threshold: int = HIGH_QUALITY_THRESHOLD
+    fallback_bandwidth: int = 16
+    fallback_pad: int = 24
+    max_joint_candidates: int = 16
+    #: DP fallback alignments below this fraction of the perfect score are
+    #: rejected (the pair then goes to the full traditional pipeline).
+    min_dp_score_fraction: float = 0.5
+
+
+@dataclass
+class PipelineStats:
+    """Aggregate counters across mapped pairs (Fig 10, §7.2, §7.4)."""
+
+    pairs_total: int = 0
+    seedmap_fallback: int = 0
+    filter_fallback: int = 0
+    residual_fallback: int = 0
+    light_fallback: int = 0
+    light_mapped: int = 0
+    exact_pairs: int = 0
+    unmapped: int = 0
+    locations_fetched: int = 0
+    traffic_bytes: int = 0
+    filter_iterations: int = 0
+    light_attempts: int = 0
+    dp_cells_candidate: int = 0
+    dp_cells_full: int = 0
+
+    def fraction(self, count: int) -> float:
+        return count / self.pairs_total if self.pairs_total else 0.0
+
+    @property
+    def seedmap_fallback_pct(self) -> float:
+        """Pairs with no usable SeedMap hits (paper: 2.09%)."""
+        return 100.0 * self.fraction(self.seedmap_fallback)
+
+    @property
+    def filter_fallback_pct(self) -> float:
+        """Pairs rejected by paired-adjacency filtering (paper: 8.79%)."""
+        return 100.0 * self.fraction(self.filter_fallback)
+
+    @property
+    def light_fallback_pct(self) -> float:
+        """Pairs needing DP alignment at candidates (paper: 13.06%)."""
+        return 100.0 * self.fraction(self.light_fallback)
+
+    @property
+    def genpair_mapped_pct(self) -> float:
+        """Pairs placed without the traditional pipeline (paper: 89.1%)."""
+        return 100.0 * self.fraction(self.light_mapped
+                                     + self.light_fallback)
+
+    @property
+    def light_aligned_pct(self) -> float:
+        """Pairs fully aligned without any DP (paper: 76.1%)."""
+        return 100.0 * self.fraction(self.light_mapped)
+
+    @property
+    def mean_light_attempts(self) -> float:
+        """Light alignments per pair (paper sizing uses 11.6, §7.2)."""
+        return (self.light_attempts / self.pairs_total
+                if self.pairs_total else 0.0)
+
+
+@dataclass
+class PairResult:
+    """Mapping outcome for one read-pair."""
+
+    name: str
+    stage: str
+    record1: AlignmentRecord
+    record2: AlignmentRecord
+    orientation: str = "fr"
+    joint_score: int = 0
+
+    @property
+    def mapped(self) -> bool:
+        return self.stage != STAGE_UNMAPPED
+
+
+class GenPairPipeline:
+    """End-to-end paired-end mapper implementing the GenPair algorithm."""
+
+    def __init__(self, reference: ReferenceGenome,
+                 seedmap: Optional[SeedMap] = None,
+                 config: GenPairConfig = GenPairConfig(),
+                 scheme: ScoringScheme = DEFAULT_SCHEME,
+                 full_fallback: Optional[FullFallback] = None) -> None:
+        self.reference = reference
+        self.config = config
+        self.scheme = scheme
+        self.seedmap = seedmap if seedmap is not None else SeedMap.build(
+            reference, seed_length=config.seed_length,
+            filter_threshold=config.filter_threshold)
+        self.light_aligner = LightAligner(scheme=scheme,
+                                          max_edits=config.max_edits,
+                                          threshold=config.score_threshold)
+        self.full_fallback = full_fallback
+        self.stats = PipelineStats()
+
+    # -- public API --------------------------------------------------------
+
+    def map_pair(self, read1: np.ndarray, read2: np.ndarray,
+                 name: str = "pair") -> PairResult:
+        """Map one read-pair through the full GenPair dataflow."""
+        stats = self.stats
+        stats.pairs_total += 1
+        orientations = partition_pair(read1, read2,
+                                      self.config.seed_length,
+                                      self.config.seeds_per_read)
+        any_seed_hit = False
+        best_filtered: Optional[Tuple[PairSeeds, Tuple[Tuple[int, int],
+                                                       ...]]] = None
+        for pair_seeds in orientations:
+            result1 = query_read(self.seedmap, pair_seeds.read1)
+            result2 = query_read(self.seedmap, pair_seeds.read2)
+            stats.locations_fetched += (result1.locations_fetched
+                                        + result2.locations_fetched)
+            stats.traffic_bytes += (result1.traffic_bytes
+                                    + result2.traffic_bytes)
+            if result1.seed_hits and result2.seed_hits:
+                any_seed_hit = True
+            filtered = filter_adjacent(result1.candidates,
+                                       result2.candidates,
+                                       delta=self.config.delta)
+            stats.filter_iterations += filtered.iterations
+            if filtered.passed:
+                best_filtered = (pair_seeds, filtered.pairs)
+                break
+        if best_filtered is None:
+            if not any_seed_hit:
+                stats.seedmap_fallback += 1
+            else:
+                stats.filter_fallback += 1
+            return self._full_fallback(read1, read2, name)
+
+        pair_seeds, joint_candidates = best_filtered
+        oriented1, oriented2 = self._oriented_codes(read1, read2,
+                                                    pair_seeds.orientation)
+        light = self._light_align_candidates(oriented1, oriented2,
+                                             joint_candidates)
+        if light is not None:
+            stats.light_mapped += 1
+            result = self._build_result(name, STAGE_LIGHT, pair_seeds,
+                                        read1, read2, light)
+            if result.joint_score == 2 * self.scheme.perfect_score(
+                    len(read1)):
+                stats.exact_pairs += 1
+            return result
+
+        dp_hit = self._dp_align_candidates(oriented1, oriented2,
+                                           joint_candidates)
+        if dp_hit is not None:
+            stats.light_fallback += 1
+            return self._build_result(name, STAGE_DP_CANDIDATE, pair_seeds,
+                                      read1, read2, dp_hit)
+        stats.residual_fallback += 1
+        return self._full_fallback(read1, read2, name)
+
+    def map_pairs(self, pairs: Sequence) -> List[PairResult]:
+        """Map a batch; accepts (read1, read2, name) tuples or objects with
+        ``read1.codes``/``read2.codes``/``name`` (e.g. SimulatedPair)."""
+        results = []
+        for index, pair in enumerate(pairs):
+            if hasattr(pair, "read1"):
+                results.append(self.map_pair(pair.read1.codes,
+                                             pair.read2.codes, pair.name))
+            else:
+                read1, read2 = pair[0], pair[1]
+                name = pair[2] if len(pair) > 2 else f"pair{index}"
+                results.append(self.map_pair(read1, read2, name))
+        return results
+
+    # -- internals ----------------------------------------------------------
+
+    def _oriented_codes(self, read1: np.ndarray, read2: np.ndarray,
+                        orientation: str
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Forward-strand sequences for (upstream, downstream) roles."""
+        if orientation == "fr":
+            return read1, reverse_complement(read2)
+        return read2, reverse_complement(read1)
+
+    def _window(self, candidate: int, read_length: int
+                ) -> Optional[Tuple[np.ndarray, int, str, int]]:
+        """Reference window around a candidate, clamped to the chromosome.
+
+        Returns ``(window, offset_of_candidate, chromosome, chrom_pos)``.
+        """
+        pad = max(self.config.max_edits, self.config.fallback_pad)
+        try:
+            chromosome, pos = self.reference.from_linear(int(candidate))
+        except Exception:
+            return None
+        chrom_len = self.reference.length(chromosome)
+        if pos >= chrom_len or pos + read_length > chrom_len + pad:
+            return None
+        start = max(0, pos - pad)
+        end = min(chrom_len, pos + read_length + pad)
+        if end - start < read_length:
+            return None
+        window = self.reference.fetch(chromosome, start, end)
+        return window, pos - start, chromosome, pos
+
+    def _light_align_candidates(self, oriented1, oriented2,
+                                joint_candidates):
+        """Try light alignment at each joint candidate; keep the best."""
+        best = None
+        cap = self.config.max_joint_candidates
+        perfect = 2 * self.scheme.perfect_score(len(oriented1))
+        for cand1, cand2 in joint_candidates[:cap]:
+            self.stats.light_attempts += 2
+            hit1 = self._light_at(oriented1, cand1)
+            if hit1 is None:
+                continue
+            hit2 = self._light_at(oriented2, cand2)
+            if hit2 is None:
+                continue
+            joint = (cand1, cand2, hit1, hit2)
+            score = hit1[0].score + hit2[0].score
+            if best is None or score > best[0]:
+                best = (score, joint)
+            if score == perfect:
+                break
+        return None if best is None else best[1]
+
+    def _light_at(self, codes: np.ndarray, candidate: int):
+        """Light-align one read at one candidate; window-clamp aware."""
+        ctx = self._window(candidate, len(codes))
+        if ctx is None:
+            return None
+        window, offset, chromosome, pos = ctx
+        hit = self.light_aligner.align(codes, window, offset)
+        if hit is None:
+            return None
+        window_start = pos - offset
+        return hit, chromosome, window_start + hit.ref_start
+
+    def _dp_align_candidates(self, oriented1, oriented2, joint_candidates):
+        """Banded DP at the filtered candidates (cheap fallback arc)."""
+        best = None
+        cap = self.config.max_joint_candidates
+        min_score = int(self.config.min_dp_score_fraction
+                        * 2 * self.scheme.perfect_score(len(oriented1)))
+        for cand1, cand2 in joint_candidates[:cap]:
+            hit1 = self._dp_at(oriented1, cand1)
+            if hit1 is None:
+                continue
+            hit2 = self._dp_at(oriented2, cand2)
+            if hit2 is None:
+                continue
+            score = hit1[0].score + hit2[0].score
+            if score < min_score:
+                continue
+            if best is None or score > best[0]:
+                best = (score, (cand1, cand2, hit1, hit2))
+        return None if best is None else best[1]
+
+    def _dp_at(self, codes: np.ndarray, candidate: int):
+        ctx = self._window(candidate, len(codes))
+        if ctx is None:
+            return None
+        window, offset, chromosome, pos = ctx
+        result = align_banded(codes, window, scheme=self.scheme,
+                              diagonal=offset,
+                              bandwidth=self.config.fallback_bandwidth)
+        self.stats.dp_cells_candidate += result.cells
+        if result.score < 0:
+            return None
+        return result, chromosome, pos + result.ref_start - offset
+
+    def _build_result(self, name: str, stage: str, pair_seeds: PairSeeds,
+                      read1: np.ndarray, read2: np.ndarray,
+                      joint) -> PairResult:
+        cand1, cand2, hit1, hit2 = joint
+        method = METHOD_LIGHT if stage == STAGE_LIGHT else METHOD_DP
+        rec_up = self._record(name, hit1, read_codes=None, mate=0,
+                              strand="+", method=method, stage=stage)
+        rec_down = self._record(name, hit2, read_codes=None, mate=0,
+                                strand="-", method=method, stage=stage)
+        if pair_seeds.orientation == "fr":
+            rec_up.query_name = f"{name}/1"
+            rec_up.mate = 1
+            rec_up.read_codes = read1
+            rec_down.query_name = f"{name}/2"
+            rec_down.mate = 2
+            rec_down.read_codes = read2
+            record1, record2 = rec_up, rec_down
+        else:
+            # Reverse fragment: physical read 2 is upstream/forward.
+            rec_up.query_name = f"{name}/2"
+            rec_up.mate = 2
+            rec_up.read_codes = read2
+            rec_down.query_name = f"{name}/1"
+            rec_down.mate = 1
+            rec_down.read_codes = read1
+            record1, record2 = rec_down, rec_up
+        record1.set_mate(record2)
+        record2.set_mate(record1)
+        joint_score = self._hit_score(hit1) + self._hit_score(hit2)
+        return PairResult(name=name, stage=stage, record1=record1,
+                          record2=record2,
+                          orientation=pair_seeds.orientation,
+                          joint_score=joint_score)
+
+    @staticmethod
+    def _hit_score(hit) -> int:
+        return hit[0].score
+
+    def _record(self, name: str, hit, read_codes, mate: int, strand: str,
+                method: str, stage: str) -> AlignmentRecord:
+        alignment, chromosome, position = hit[0], hit[1], hit[2]
+        cigar = alignment.cigar
+        if method == METHOD_LIGHT and cigar.edit_runs == ():
+            method = METHOD_EXACT
+        return AlignmentRecord(query_name=name, chromosome=chromosome,
+                               position=int(position), strand=strand,
+                               mapq=60, cigar=cigar,
+                               score=alignment.score,
+                               read_codes=read_codes, mate=mate,
+                               mapped=True, method=method)
+
+    def _full_fallback(self, read1: np.ndarray, read2: np.ndarray,
+                       name: str) -> PairResult:
+        if self.full_fallback is not None:
+            outcome = self.full_fallback(read1, read2, name)
+            if outcome is not None:
+                record1, record2, cells = outcome
+                self.stats.dp_cells_full += cells
+                score = record1.score + record2.score
+                return PairResult(name=name, stage=STAGE_FULL_DP,
+                                  record1=record1, record2=record2,
+                                  joint_score=score)
+        self.stats.unmapped += 1
+        unmapped1 = AlignmentRecord(query_name=f"{name}/1", mapped=False,
+                                    read_codes=read1, mate=1)
+        unmapped2 = AlignmentRecord(query_name=f"{name}/2", mapped=False,
+                                    read_codes=read2, mate=2)
+        return PairResult(name=name, stage=STAGE_UNMAPPED,
+                          record1=unmapped1, record2=unmapped2)

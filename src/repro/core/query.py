@@ -1,0 +1,72 @@
+"""SeedMap Query: resolve seed hashes to candidate read-start positions (§4.4).
+
+For each seed the Location Table returns the sorted reference locations of
+that 50bp window.  Subtracting the seed's offset within the read converts
+each hit into an *implied read start*, so that hits from the first, middle
+and last seed of one read land on the same coordinate when they agree.  The
+three per-seed sorted lists are merged into one sorted candidate array —
+the contiguous layout plus this merge is what the paper's NMSL exploits for
+bursty, sequential memory traffic.
+
+The query also carries the memory-traffic accounting the hardware model
+consumes: each seed lookup costs one Seed Table access plus a burst read of
+its location range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .seedmap import LOCATION_ENTRY_BYTES, SEED_TABLE_ENTRY_BYTES, SeedMap
+from .seeding import Seed
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Candidate read-start positions for one read (sorted, deduplicated).
+
+    ``seed_hits`` records how many seeds had at least one location (a read
+    with zero hits across all its seeds cannot be placed by GenPair and
+    falls back to the traditional pipeline, Fig 10's 2.09% arc).
+    """
+
+    candidates: np.ndarray
+    seed_hits: int
+    locations_fetched: int
+    seed_table_accesses: int
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Modeled memory traffic of this query (Seed + Location Tables)."""
+        return (self.seed_table_accesses * SEED_TABLE_ENTRY_BYTES
+                + self.locations_fetched * LOCATION_ENTRY_BYTES)
+
+
+def query_read(seedmap: SeedMap, seeds: Sequence[Seed]) -> QueryResult:
+    """Query SeedMap with one read's seeds; merge into sorted candidates."""
+    hit_lists = []
+    locations_fetched = 0
+    seed_hits = 0
+    for seed in seeds:
+        locations = seedmap.query(seed.hash_value)
+        locations_fetched += int(locations.size)
+        if locations.size:
+            seed_hits += 1
+            hit_lists.append(locations - seed.read_offset)
+    if hit_lists:
+        merged = np.unique(np.concatenate(hit_lists))
+    else:
+        merged = np.zeros(0, dtype=np.int64)
+    return QueryResult(candidates=merged, seed_hits=seed_hits,
+                       locations_fetched=locations_fetched,
+                       seed_table_accesses=len(seeds))
+
+
+def query_pair(seedmap: SeedMap, read1_seeds: Sequence[Seed],
+               read2_seeds: Sequence[Seed]
+               ) -> Tuple[QueryResult, QueryResult]:
+    """Query both reads of a pair (six seed lookups)."""
+    return query_read(seedmap, read1_seeds), query_read(seedmap, read2_seeds)

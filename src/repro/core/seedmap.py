@@ -1,0 +1,186 @@
+"""SeedMap: the offline hash index over reference seeds (§4.2).
+
+SeedMap is a two-table structure:
+
+* the **Location Table** — all reference locations of all seeds, laid out
+  so that the locations of one seed are contiguous (enabling the burst
+  transfers NMSL relies on);
+* the **Seed Table** — maps a seed's 32-bit xxHash to the ``[start, end)``
+  range of its locations in the Location Table.
+
+The functional model stores locations as *global linear coordinates* (see
+:meth:`repro.genome.ReferenceGenome.to_linear`), exactly the flattened
+``(chromosome, offset)`` pairs of Fig 4.  Seeds whose location count
+exceeds the **index filtering threshold** are dropped at build time (§5.2;
+default 500, matching both the paper and Minimap2's heuristic), which also
+bounds the hardware FIFO depth.
+
+Construction is fully vectorized: one xxHash per reference position via
+:func:`repro.hashing.xxhash32_rows`, then a single argsort groups equal
+hashes so each seed's locations are contiguous and sorted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..genome.reference import ReferenceGenome
+from ..hashing import DEFAULT_SEED_LENGTH, hash_reference_windows
+
+#: Paper default for the index filtering threshold (§5.2, §7.8).
+DEFAULT_FILTER_THRESHOLD = 500
+
+#: Modeled size of one Seed Table entry: 32-bit hash key + 32-bit offset.
+SEED_TABLE_ENTRY_BYTES = 8
+
+#: Modeled size of one Location Table entry: chromosome id + offset packed
+#: into 5 bytes (the paper's layout stores (chromosome, offset) pairs).
+LOCATION_ENTRY_BYTES = 5
+
+
+@dataclass(frozen=True)
+class SeedMapStats:
+    """Build-time statistics (feed Observation 2 and the hardware model)."""
+
+    total_positions: int
+    distinct_seeds: int
+    stored_locations: int
+    filtered_seeds: int
+    filtered_locations: int
+    max_locations: int
+
+    @property
+    def mean_locations_per_seed(self) -> float:
+        """Average stored locations per distinct stored seed."""
+        if self.distinct_seeds == 0:
+            return 0.0
+        return self.stored_locations / self.distinct_seeds
+
+    @property
+    def seed_table_bytes(self) -> int:
+        return self.distinct_seeds * SEED_TABLE_ENTRY_BYTES
+
+    @property
+    def location_table_bytes(self) -> int:
+        return self.stored_locations * LOCATION_ENTRY_BYTES
+
+
+class SeedMap:
+    """Hash index from 50bp seeds to sorted reference locations."""
+
+    def __init__(self, seed_length: int, locations: np.ndarray,
+                 ranges: Dict[int, Tuple[int, int]],
+                 stats: SeedMapStats) -> None:
+        self.seed_length = seed_length
+        self._locations = locations
+        self._ranges = ranges
+        self.stats = stats
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(cls, reference: ReferenceGenome,
+              seed_length: int = DEFAULT_SEED_LENGTH,
+              filter_threshold: Optional[int] = DEFAULT_FILTER_THRESHOLD,
+              step: int = 1) -> "SeedMap":
+        """Build SeedMap from a reference genome.
+
+        Parameters
+        ----------
+        seed_length:
+            Seed size in bases (the paper fixes 50).
+        filter_threshold:
+            Seeds with more reference locations than this are dropped
+            entirely; ``None`` disables filtering (the "no filter"
+            configuration of Table 7).
+        step:
+            Stride between indexed reference positions.  The hardware
+            indexes every position (stride 1); larger strides trade recall
+            for index size and are exposed for experimentation.
+        """
+        hash_chunks = []
+        position_chunks = []
+        for name in reference.names:
+            codes = reference.fetch(name, 0, reference.length(name))
+            if len(codes) < seed_length:
+                continue
+            hashes = hash_reference_windows(codes, seed_length, step=step)
+            starts = (np.arange(len(hashes), dtype=np.int64) * step
+                      + reference.linear_offset(name))
+            hash_chunks.append(hashes)
+            position_chunks.append(starts)
+        if not hash_chunks:
+            empty_stats = SeedMapStats(0, 0, 0, 0, 0, 0)
+            return cls(seed_length, np.zeros(0, dtype=np.int64), {},
+                       empty_stats)
+        all_hashes = np.concatenate(hash_chunks)
+        all_positions = np.concatenate(position_chunks)
+        order = np.lexsort((all_positions, all_hashes))
+        sorted_hashes = all_hashes[order]
+        sorted_positions = all_positions[order]
+        # Group boundaries: one group per distinct hash value.
+        boundaries = np.flatnonzero(
+            np.diff(sorted_hashes) != 0) + 1
+        group_starts = np.concatenate(([0], boundaries))
+        group_ends = np.concatenate((boundaries, [len(sorted_hashes)]))
+        group_sizes = group_ends - group_starts
+
+        keep = np.ones(len(group_starts), dtype=bool)
+        if filter_threshold is not None:
+            keep = group_sizes <= filter_threshold
+        filtered_seeds = int(np.count_nonzero(~keep))
+        filtered_locations = int(group_sizes[~keep].sum())
+
+        ranges: Dict[int, Tuple[int, int]] = {}
+        kept_chunks = []
+        cursor = 0
+        for start, end, keep_flag in zip(group_starts.tolist(),
+                                         group_ends.tolist(),
+                                         keep.tolist()):
+            if not keep_flag:
+                continue
+            size = end - start
+            ranges[int(sorted_hashes[start])] = (cursor, cursor + size)
+            kept_chunks.append(sorted_positions[start:end])
+            cursor += size
+        locations = (np.concatenate(kept_chunks)
+                     if kept_chunks else np.zeros(0, dtype=np.int64))
+        stats = SeedMapStats(
+            total_positions=len(all_hashes),
+            distinct_seeds=len(ranges),
+            stored_locations=int(locations.size),
+            filtered_seeds=filtered_seeds,
+            filtered_locations=filtered_locations,
+            max_locations=int(group_sizes[keep].max()) if keep.any() else 0,
+        )
+        return cls(seed_length, locations, ranges, stats)
+
+    # -- querying --------------------------------------------------------
+
+    def query(self, seed_hash: int) -> np.ndarray:
+        """Sorted reference locations of one seed hash (a view; may be empty).
+
+        This is the §4.4 lookup: one Seed Table access resolving to one
+        contiguous, already-sorted Location Table range.
+        """
+        span = self._ranges.get(int(seed_hash))
+        if span is None:
+            return self._locations[:0]
+        start, end = span
+        return self._locations[start:end]
+
+    def __contains__(self, seed_hash: int) -> bool:
+        return int(seed_hash) in self._ranges
+
+    def location_count(self, seed_hash: int) -> int:
+        """Number of stored locations for a seed hash (0 if absent)."""
+        span = self._ranges.get(int(seed_hash))
+        return 0 if span is None else span[1] - span[0]
+
+    @property
+    def memory_bytes(self) -> int:
+        """Modeled total footprint (Seed Table + Location Table)."""
+        return self.stats.seed_table_bytes + self.stats.location_table_bytes

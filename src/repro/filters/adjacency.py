@@ -1,0 +1,77 @@
+"""FastHASH-style intra-read adjacency filtering (Xin et al., 2013).
+
+The single-read ancestor of Paired-Adjacency Filtering (§4.5 credits
+FastHASH directly): consecutive seeds *within one read* must map to
+adjacent reference positions.  A candidate read-start position is kept
+only if it is supported by at least ``min_support`` seeds whose hits
+agree on it (within a small slack for indels).
+
+Included as a related-work baseline: the Fig-10-style comparison shows
+how much weaker within-read adjacency is than the paired version for
+paired-end data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.query import QueryResult
+from ..core.seeding import Seed
+from ..core.seedmap import SeedMap
+
+
+@dataclass(frozen=True)
+class AdjacencyResult:
+    """Candidates surviving intra-read adjacency filtering."""
+
+    candidates: Tuple[int, ...]
+    support: Tuple[int, ...]
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.candidates)
+
+
+def adjacency_filter(seedmap: SeedMap, seeds: Sequence[Seed],
+                     min_support: int = 2,
+                     slack: int = 5) -> AdjacencyResult:
+    """Keep read-start candidates supported by >= ``min_support`` seeds.
+
+    Each seed hit implies a read start (location - seed offset); hits
+    from different seeds that agree within ``slack`` bases support each
+    other, exactly FastHASH's adjacency criterion.
+    """
+    implied: List[np.ndarray] = []
+    for seed in seeds:
+        locations = seedmap.query(seed.hash_value)
+        if locations.size:
+            implied.append(locations - seed.read_offset)
+    if not implied:
+        return AdjacencyResult((), ())
+    merged = np.sort(np.concatenate(implied))
+    candidates: List[int] = []
+    support: List[int] = []
+    index = 0
+    total = len(merged)
+    while index < total:
+        anchor = merged[index]
+        end = index
+        while end < total and merged[end] - anchor <= slack:
+            end += 1
+        count = end - index
+        if count >= min_support:
+            candidates.append(int(anchor))
+            support.append(count)
+        index = end
+    return AdjacencyResult(tuple(candidates), tuple(support))
+
+
+def adjacency_from_query(result: QueryResult,
+                         seeds: Sequence[Seed],
+                         seedmap: SeedMap,
+                         min_support: int = 2) -> AdjacencyResult:
+    """Convenience wrapper matching the pipeline's query interface."""
+    return adjacency_filter(seedmap, seeds, min_support=min_support)

@@ -1,0 +1,43 @@
+"""GateKeeper-style pre-alignment filter (Alser et al., 2017).
+
+GateKeeper is the FPGA-friendly simplification of SHD (§8): the same
+shifted Hamming masks, but a cheaper amendment (it only ANDs the raw
+masks) traded for a higher false-positive rate.  Included as a
+related-work baseline so the filter-comparison bench can show the
+accuracy/cost ladder: GateKeeper < SHD < Light Alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GateKeeperResult:
+    """Filter verdict for one candidate location."""
+
+    passed: bool
+    estimated_edits: int
+
+
+def gatekeeper_filter(read: np.ndarray, window: np.ndarray, offset: int,
+                      max_edits: int = 5) -> GateKeeperResult:
+    """AND the raw shifted Hamming masks; reject if mismatches exceed
+    the threshold."""
+    read = np.asarray(read, dtype=np.uint8)
+    length = len(read)
+    if length == 0:
+        return GateKeeperResult(passed=False, estimated_edits=length)
+    shift_lo = -min(max_edits, offset)
+    shift_hi = min(max_edits, len(window) - offset - length)
+    if shift_hi < 0 or shift_lo > 0:
+        return GateKeeperResult(passed=False, estimated_edits=length)
+    combined = np.ones(length, dtype=bool)
+    for shift in range(shift_lo, shift_hi + 1):
+        ref_slice = window[offset + shift:offset + shift + length]
+        combined &= (read != ref_slice)
+    estimated = int(np.count_nonzero(combined))
+    return GateKeeperResult(passed=estimated <= max_edits,
+                            estimated_edits=estimated)

@@ -1,0 +1,84 @@
+"""Shifted Hamming Distance (SHD) pre-alignment filter.
+
+SHD (Xin et al., Bioinformatics 2015) is the filtering technique Light
+Alignment generalizes (§4.6, §8): it computes Hamming masks between the
+read and ``2e + 1`` shifted copies of the reference, *amends* each mask
+(speculatively flattening match runs too short to be real alignment
+segments), ANDs the masks together, and rejects the candidate when the
+surviving mismatch count exceeds the edit threshold.
+
+Unlike Light Alignment, SHD only answers "possibly within e edits /
+definitely not" — it produces no score or CIGAR.  It is implemented here
+as a related-work baseline and as the building block for the
+filter-then-align combination the paper flags as promising future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShdResult:
+    """Filter verdict for one candidate location."""
+
+    passed: bool
+    estimated_edits: int
+    masks_computed: int
+
+
+def _amend_mask(mismatch: np.ndarray, min_run: int = 3) -> np.ndarray:
+    """Flatten match runs shorter than ``min_run`` into mismatches.
+
+    SHD's amendment step: tiny match islands between mismatches cannot be
+    part of a real alignment segment, so they are speculatively counted
+    as errors, tightening the filter.
+    """
+    amended = mismatch.copy()
+    length = len(amended)
+    index = 0
+    while index < length:
+        if not amended[index]:
+            run_start = index
+            while index < length and not amended[index]:
+                index += 1
+            run_length = index - run_start
+            interior = run_start > 0 and index < length
+            if interior and run_length < min_run:
+                amended[run_start:index] = True
+        else:
+            index += 1
+    return amended
+
+
+def shd_filter(read: np.ndarray, window: np.ndarray, offset: int,
+               max_edits: int = 5, amend_min_run: int = 3) -> ShdResult:
+    """Apply the SHD filter to ``read`` at ``window[offset ...]``.
+
+    Returns ``passed=True`` when the candidate *may* align within
+    ``max_edits`` edits (no false negatives for alignments within the
+    shift range; false positives possible — that is the nature of a
+    filter).
+    """
+    read = np.asarray(read, dtype=np.uint8)
+    length = len(read)
+    if length == 0:
+        return ShdResult(passed=False, estimated_edits=length,
+                         masks_computed=0)
+    shift_lo = -min(max_edits, offset)
+    shift_hi = min(max_edits, len(window) - offset - length)
+    if shift_hi < 0 or shift_lo > 0:
+        return ShdResult(passed=False, estimated_edits=length,
+                         masks_computed=0)
+    combined = np.ones(length, dtype=bool)  # True = mismatch everywhere
+    masks = 0
+    for shift in range(shift_lo, shift_hi + 1):
+        ref_slice = window[offset + shift:offset + shift + length]
+        mismatch = read != ref_slice
+        combined &= _amend_mask(mismatch, amend_min_run)
+        masks += 1
+    estimated = int(np.count_nonzero(combined))
+    return ShdResult(passed=estimated <= max_edits,
+                     estimated_edits=estimated, masks_computed=masks)

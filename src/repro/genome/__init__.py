@@ -1,0 +1,33 @@
+"""Genomics substrate: sequences, references, simulation, CIGAR, SAM.
+
+This package provides everything below the mapping algorithms: sequence
+encoding, reference genomes (synthetic generation included), germline
+variant planting, Mason-like read simulation, CIGAR algebra, and SAM-like
+alignment records.
+"""
+
+from .cigar import Cigar, CigarError
+from .io_fasta import read_fasta, read_fastq, write_fasta, write_fastq
+from .reference import (ReferenceError, ReferenceGenome, RepeatProfile,
+                        generate_reference)
+from .sam import (METHOD_DP, METHOD_EXACT, METHOD_LIGHT, AlignmentRecord,
+                  write_sam)
+from .sequence import (ALPHABET_SIZE, SequenceError, decode, encode,
+                       hamming_distance, kmer_to_int, kmers, pack_2bit,
+                       random_sequence, reverse_complement,
+                       reverse_complement_str, unpack_2bit)
+from .simulate import (ErrorModel, PairedEndProfile, ReadSimulator,
+                       SimulatedPair, SimulatedRead, SimulationError)
+from .variants import DiploidDonor, Haplotype, Variant, plant_variants
+
+__all__ = [
+    "ALPHABET_SIZE", "AlignmentRecord", "Cigar", "CigarError",
+    "DiploidDonor", "ErrorModel", "Haplotype", "METHOD_DP", "METHOD_EXACT",
+    "METHOD_LIGHT", "PairedEndProfile", "ReadSimulator", "ReferenceError",
+    "ReferenceGenome", "RepeatProfile", "SequenceError", "SimulatedPair",
+    "SimulatedRead", "SimulationError", "Variant", "decode", "encode",
+    "generate_reference", "hamming_distance", "kmer_to_int", "kmers",
+    "pack_2bit", "plant_variants", "random_sequence", "read_fasta",
+    "read_fastq", "reverse_complement", "reverse_complement_str",
+    "unpack_2bit", "write_fasta", "write_fastq", "write_sam",
+]

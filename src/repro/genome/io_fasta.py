@@ -1,0 +1,99 @@
+"""Minimal FASTA/FASTQ reading and writing.
+
+The reproduction generates its own data, but a downstream user will want to
+feed real files through the pipeline, and the examples round-trip datasets to
+disk.  Only the features the pipeline needs are implemented: plain
+(optionally multi-line) FASTA, and four-line FASTQ with dummy qualities.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
+
+import numpy as np
+
+from .reference import ReferenceGenome
+from .sequence import decode, encode
+
+PathLike = Union[str, Path]
+
+
+class FastaError(ValueError):
+    """Raised for malformed FASTA/FASTQ input."""
+
+
+def read_fasta(path: PathLike) -> "ReferenceGenome":
+    """Read a FASTA file into a :class:`ReferenceGenome`.
+
+    ``N`` bases are accepted and preserved; headers are truncated at the
+    first whitespace, matching common mapper behaviour.
+    """
+    chromosomes: Dict[str, np.ndarray] = {}
+    name = None
+    chunks: List[str] = []
+    with open(path) as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    chromosomes[name] = encode("".join(chunks), allow_n=True)
+                name = line[1:].split()[0]
+                if not name:
+                    raise FastaError("empty FASTA header")
+                if name in chromosomes:
+                    raise FastaError(f"duplicate sequence name {name!r}")
+                chunks = []
+            else:
+                if name is None:
+                    raise FastaError("sequence data before first header")
+                chunks.append(line)
+    if name is not None:
+        chromosomes[name] = encode("".join(chunks), allow_n=True)
+    return ReferenceGenome(chromosomes)
+
+
+def write_fasta(path: PathLike, genome: ReferenceGenome,
+                line_width: int = 70) -> None:
+    """Write a :class:`ReferenceGenome` to a FASTA file."""
+    with open(path, "w") as handle:
+        for name in genome.names:
+            handle.write(f">{name}\n")
+            seq = genome.sequence(name)
+            for start in range(0, len(seq), line_width):
+                handle.write(seq[start:start + line_width] + "\n")
+
+
+def read_fastq(path: PathLike) -> Iterator[Tuple[str, np.ndarray]]:
+    """Yield ``(name, codes)`` records from a FASTQ file."""
+    with open(path) as handle:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.strip()
+            if not header.startswith("@"):
+                raise FastaError(f"bad FASTQ header: {header!r}")
+            seq = handle.readline().strip()
+            plus = handle.readline().strip()
+            qual = handle.readline().strip()
+            if not plus.startswith("+"):
+                raise FastaError("missing '+' separator in FASTQ record")
+            if len(qual) != len(seq):
+                raise FastaError("quality length differs from sequence")
+            yield header[1:].split()[0], encode(seq, allow_n=True)
+
+
+def write_fastq(path: PathLike,
+                records: Iterable[Tuple[str, np.ndarray]],
+                quality_char: str = "I") -> int:
+    """Write ``(name, codes)`` records as FASTQ; returns the record count."""
+    count = 0
+    with open(path, "w") as handle:
+        for name, codes in records:
+            seq = decode(codes)
+            handle.write(f"@{name}\n{seq}\n+\n{quality_char * len(seq)}\n")
+            count += 1
+    return count

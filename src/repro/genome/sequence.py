@@ -1,0 +1,176 @@
+"""DNA sequence primitives: 2-bit encoding, complements, k-mer helpers.
+
+Every higher layer of the reproduction (SeedMap, light alignment, the
+baseline mapper, the read simulator) works on sequences encoded as
+``numpy.uint8`` arrays holding one base code per element.  The codes follow
+the conventional 2-bit alphabet used by the paper's hardware (GenPairX
+encodes a read-pair with 2 bits per base, §7.4):
+
+====  =====
+base  code
+====  =====
+A     0
+C     1
+G     2
+T     3
+====  =====
+
+Ambiguous bases (``N``) are carried as code 4 at the string boundary and are
+never produced by the synthetic reference generator; the encoder can either
+reject them or map them to an arbitrary concrete base, mirroring how real
+mappers treat ``N`` in reads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Union
+
+import numpy as np
+
+#: Number of distinct concrete bases in the DNA alphabet.
+ALPHABET_SIZE = 4
+
+#: Code used for an ambiguous base at the string boundary.
+N_CODE = 4
+
+_BASES = "ACGT"
+_BASE_TO_CODE = {"A": 0, "C": 1, "G": 2, "T": 3, "N": N_CODE,
+                 "a": 0, "c": 1, "g": 2, "t": 3, "n": N_CODE}
+
+# Lookup table from ASCII byte to code (255 = invalid).
+_ASCII_TO_CODE = np.full(256, 255, dtype=np.uint8)
+for _ch, _code in _BASE_TO_CODE.items():
+    _ASCII_TO_CODE[ord(_ch)] = _code
+
+_CODE_TO_ASCII = np.frombuffer(b"ACGTN", dtype=np.uint8)
+
+SequenceLike = Union[str, bytes, np.ndarray, Sequence[int]]
+
+
+class SequenceError(ValueError):
+    """Raised for malformed sequence input (invalid characters or codes)."""
+
+
+def encode(seq: SequenceLike, allow_n: bool = False) -> np.ndarray:
+    """Encode a DNA sequence into a ``uint8`` code array.
+
+    Parameters
+    ----------
+    seq:
+        A string/bytes of ``ACGTN`` (case-insensitive), or an existing code
+        array which is validated and passed through.
+    allow_n:
+        When false (the default) an ``N`` raises :class:`SequenceError`;
+        when true it is encoded as :data:`N_CODE`.
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D ``uint8`` array of base codes.
+    """
+    if isinstance(seq, np.ndarray):
+        codes = seq.astype(np.uint8, copy=False)
+    elif isinstance(seq, (str, bytes)):
+        raw = seq.encode("ascii") if isinstance(seq, str) else seq
+        codes = _ASCII_TO_CODE[np.frombuffer(raw, dtype=np.uint8)]
+        if codes.size and codes.max(initial=0) == 255:
+            bad = chr(raw[int(np.argmax(codes == 255))])
+            raise SequenceError(f"invalid DNA character: {bad!r}")
+    else:
+        codes = np.asarray(list(seq), dtype=np.uint8)
+    limit = N_CODE if allow_n else ALPHABET_SIZE - 1
+    if codes.size and codes.max(initial=0) > limit:
+        raise SequenceError("sequence contains codes outside the alphabet")
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a ``uint8`` code array back into an ``ACGTN`` string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max(initial=0) > N_CODE:
+        raise SequenceError("code array contains values outside the alphabet")
+    return _CODE_TO_ASCII[codes].tobytes().decode("ascii")
+
+
+def complement(codes: np.ndarray) -> np.ndarray:
+    """Return the base-wise complement (A<->T, C<->G); ``N`` maps to itself."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    out = (3 - codes).astype(np.uint8)
+    out[codes == N_CODE] = N_CODE
+    return out
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Return the reverse complement of a code array."""
+    return complement(codes)[::-1]
+
+
+def reverse_complement_str(seq: str) -> str:
+    """Return the reverse complement of a DNA string."""
+    return decode(reverse_complement(encode(seq, allow_n=True)))
+
+
+def random_sequence(rng: np.random.Generator, length: int) -> np.ndarray:
+    """Draw a uniform random sequence of ``length`` concrete bases."""
+    if length < 0:
+        raise SequenceError("length must be non-negative")
+    return rng.integers(0, ALPHABET_SIZE, size=length, dtype=np.uint8)
+
+
+def pack_2bit(codes: np.ndarray) -> bytes:
+    """Pack concrete base codes into 2 bits per base (4 bases per byte).
+
+    This mirrors the 2-bit wire encoding the paper uses for host transfers
+    (75 bytes per 150bp read-pair end, §7.4).  Ambiguous bases are not
+    representable and raise :class:`SequenceError`.
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max(initial=0) >= ALPHABET_SIZE:
+        raise SequenceError("cannot 2-bit pack ambiguous bases")
+    padded = np.zeros((codes.size + 3) // 4 * 4, dtype=np.uint8)
+    padded[: codes.size] = codes
+    quads = padded.reshape(-1, 4)
+    packed = (quads[:, 0] | (quads[:, 1] << 2)
+              | (quads[:, 2] << 4) | (quads[:, 3] << 6))
+    return packed.astype(np.uint8).tobytes()
+
+
+def unpack_2bit(data: bytes, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_2bit`; ``length`` is the base count."""
+    raw = np.frombuffer(data, dtype=np.uint8)
+    if raw.size * 4 < length:
+        raise SequenceError("packed buffer shorter than requested length")
+    quads = np.empty((raw.size, 4), dtype=np.uint8)
+    quads[:, 0] = raw & 3
+    quads[:, 1] = (raw >> 2) & 3
+    quads[:, 2] = (raw >> 4) & 3
+    quads[:, 3] = (raw >> 6) & 3
+    return quads.reshape(-1)[:length]
+
+
+def kmers(codes: np.ndarray, k: int) -> Iterator[np.ndarray]:
+    """Yield every overlapping ``k``-mer window of ``codes`` (views)."""
+    if k <= 0:
+        raise SequenceError("k must be positive")
+    for start in range(0, len(codes) - k + 1):
+        yield codes[start:start + k]
+
+
+def kmer_to_int(codes: np.ndarray) -> int:
+    """Pack a concrete k-mer (k <= 31) into a single Python integer key."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max(initial=0) >= ALPHABET_SIZE:
+        raise SequenceError("ambiguous base in k-mer")
+    value = 0
+    for code in codes.tolist():
+        value = (value << 2) | code
+    return value
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Count positions where two equal-length code arrays differ."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise SequenceError("hamming_distance requires equal-length inputs")
+    return int(np.count_nonzero(a != b))

@@ -1,0 +1,57 @@
+"""Seed hashing: map fixed-length DNA seeds to 32-bit keys.
+
+The hardware hashes the 2-bit packed representation of each 50bp seed
+(§4.3, §5.1); this module provides the same mapping for the functional
+model, plus a vectorized batch helper used during SeedMap construction,
+where hundreds of thousands of reference seeds are hashed per build.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..genome.sequence import ALPHABET_SIZE, pack_2bit
+from .xxhash32 import xxhash32
+
+#: Seed length used throughout the paper (Observation 1 fixes 50bp).
+DEFAULT_SEED_LENGTH = 50
+
+
+def hash_seed(codes: np.ndarray, seed: int = 0) -> int:
+    """Hash one concrete seed (code array) to a 32-bit key."""
+    return xxhash32(pack_2bit(codes), seed=seed)
+
+
+def hash_seeds(seed_windows: Iterable[np.ndarray], seed: int = 0
+               ) -> List[int]:
+    """Hash many seeds; plain loop over :func:`hash_seed`."""
+    return [hash_seed(window, seed=seed) for window in seed_windows]
+
+
+def hash_reference_windows(codes: np.ndarray, seed_length: int,
+                           step: int = 1, seed: int = 0) -> np.ndarray:
+    """Hash every window of ``codes`` of ``seed_length`` at ``step`` stride.
+
+    This is the hot loop of offline SeedMap construction (§4.2).  The
+    windows are materialized with a strided view and packed row-wise so the
+    per-window Python work is just the xxHash core.
+
+    Returns a ``uint64`` array of hash values, one per window start
+    ``0, step, 2*step, ...``.
+    """
+    if seed_length <= 0 or step <= 0:
+        raise ValueError("seed_length and step must be positive")
+    count = (len(codes) - seed_length) // step + 1
+    if count <= 0:
+        return np.zeros(0, dtype=np.uint64)
+    if codes.size and codes.max(initial=0) >= ALPHABET_SIZE:
+        raise ValueError("reference windows must be concrete bases")
+    from .vectorized import pack_rows_2bit, xxhash32_rows
+
+    starts = np.arange(count) * step
+    windows = np.lib.stride_tricks.sliding_window_view(
+        codes, seed_length)[starts]
+    packed = pack_rows_2bit(windows)
+    return xxhash32_rows(packed, seed=seed).astype(np.uint64)

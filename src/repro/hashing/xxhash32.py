@@ -1,0 +1,78 @@
+"""Pure-Python xxHash32, bit-exact to the reference specification.
+
+GenPair encodes every 50bp seed into a 32-bit value with xxHash (§4.3), and
+the Partitioned Seeding hardware module pipelines exactly this function
+(§5.1).  The implementation below follows the canonical XXH32 algorithm
+(https://github.com/Cyan4973/xxHash) and is validated against the published
+test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_PRIME32_1 = 0x9E3779B1
+_PRIME32_2 = 0x85EBCA77
+_PRIME32_3 = 0xC2B2AE3D
+_PRIME32_4 = 0x27D4EB2F
+_PRIME32_5 = 0x165667B1
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(value: int, count: int) -> int:
+    value &= _MASK32
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+def _round(accumulator: int, lane: int) -> int:
+    accumulator = (accumulator + lane * _PRIME32_2) & _MASK32
+    accumulator = _rotl32(accumulator, 13)
+    return (accumulator * _PRIME32_1) & _MASK32
+
+
+def xxhash32(data: bytes, seed: int = 0) -> int:
+    """Compute the 32-bit xxHash of ``data`` with the given ``seed``."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError("xxhash32 expects bytes-like input")
+    data = bytes(data)
+    seed &= _MASK32
+    length = len(data)
+    index = 0
+
+    if length >= 16:
+        acc1 = (seed + _PRIME32_1 + _PRIME32_2) & _MASK32
+        acc2 = (seed + _PRIME32_2) & _MASK32
+        acc3 = seed
+        acc4 = (seed - _PRIME32_1) & _MASK32
+        limit = length - 16
+        while index <= limit:
+            lanes = struct.unpack_from("<IIII", data, index)
+            acc1 = _round(acc1, lanes[0])
+            acc2 = _round(acc2, lanes[1])
+            acc3 = _round(acc3, lanes[2])
+            acc4 = _round(acc4, lanes[3])
+            index += 16
+        digest = (_rotl32(acc1, 1) + _rotl32(acc2, 7)
+                  + _rotl32(acc3, 12) + _rotl32(acc4, 18)) & _MASK32
+    else:
+        digest = (seed + _PRIME32_5) & _MASK32
+
+    digest = (digest + length) & _MASK32
+
+    while index + 4 <= length:
+        (lane,) = struct.unpack_from("<I", data, index)
+        digest = (digest + lane * _PRIME32_3) & _MASK32
+        digest = (_rotl32(digest, 17) * _PRIME32_4) & _MASK32
+        index += 4
+
+    while index < length:
+        digest = (digest + data[index] * _PRIME32_5) & _MASK32
+        digest = (_rotl32(digest, 11) * _PRIME32_1) & _MASK32
+        index += 1
+
+    digest ^= digest >> 15
+    digest = (digest * _PRIME32_2) & _MASK32
+    digest ^= digest >> 13
+    digest = (digest * _PRIME32_3) & _MASK32
+    digest ^= digest >> 16
+    return digest

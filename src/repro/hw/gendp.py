@@ -1,0 +1,77 @@
+"""GenDP: the DP-fallback accelerator GenPairX integrates with (§7.4).
+
+GenDP (Gu et al., ISCA'23) accelerates chaining and alignment DP.  The
+paper sizes a GenDP instance to absorb GenPairX's *residual* workload —
+the read-pairs that fall back to DP chaining and/or DP alignment — using
+GenDP's published efficiency in MCUPS (million DP cell updates per second)
+per mm^2 and per mW.  We encode those efficiencies exactly as the paper's
+Table 4 implies:
+
+* residual chaining demand 331,772 MCUPS -> 174.9 mm^2 / 115.8 W,
+* residual alignment demand 3,469,180 MCUPS -> 139.4 mm^2 / 92.3 W.
+
+The design composer converts the functional pipeline's measured DP-cell
+counts into MCUPS at the target pair rate and prices the GenDP share with
+these constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .scaling import BlockCost
+
+#: Paper residual demand for a 192.7 MPair/s GenPairX front-end (§7.4).
+PAPER_RESIDUAL_CHAIN_MCUPS = 331_772.0
+PAPER_RESIDUAL_ALIGN_MCUPS = 3_469_180.0
+
+#: GenDP efficiency constants implied by Table 4 (MCUPS per mm^2 / mW).
+CHAIN_MCUPS_PER_MM2 = PAPER_RESIDUAL_CHAIN_MCUPS / 174.9
+CHAIN_MCUPS_PER_MW = PAPER_RESIDUAL_CHAIN_MCUPS / 115.8e3
+ALIGN_MCUPS_PER_MM2 = PAPER_RESIDUAL_ALIGN_MCUPS / 139.4
+ALIGN_MCUPS_PER_MW = PAPER_RESIDUAL_ALIGN_MCUPS / 92.3e3
+
+#: Interconnect between GenPairX and GenDP: AXI-Stream bus plus burst
+#: FIFOs (§7.4; "negligible in the context of the overall design").
+INTERCONNECT_COST = BlockCost(area_mm2=1.0 + 1.3, power_mw=50.0 + 500.0)
+
+
+@dataclass(frozen=True)
+class GenDPSizing:
+    """GenDP capacity provisioned for a residual DP workload."""
+
+    chain_mcups: float
+    align_mcups: float
+
+    @property
+    def chain_cost(self) -> BlockCost:
+        return BlockCost(area_mm2=self.chain_mcups / CHAIN_MCUPS_PER_MM2,
+                         power_mw=self.chain_mcups / CHAIN_MCUPS_PER_MW)
+
+    @property
+    def align_cost(self) -> BlockCost:
+        return BlockCost(area_mm2=self.align_mcups / ALIGN_MCUPS_PER_MM2,
+                         power_mw=self.align_mcups / ALIGN_MCUPS_PER_MW)
+
+    @property
+    def total_cost(self) -> BlockCost:
+        return self.chain_cost + self.align_cost
+
+
+def residual_mcups(cells_per_pair: float,
+                   pair_rate_mpairs: float) -> float:
+    """Convert DP cells/pair at a pair rate into MCUPS demand.
+
+    ``cells_per_pair`` is averaged over *all* pairs (fallback pairs carry
+    the cells, the rest contribute zero), so multiplying by the front-end
+    pair rate gives the sustained cell-update rate the fallback engine
+    must absorb.
+    """
+    cells_per_second = cells_per_pair * pair_rate_mpairs * 1e6
+    return cells_per_second / 1e6
+
+
+def paper_sizing() -> GenDPSizing:
+    """The paper's published residual sizing (§7.4)."""
+    return GenDPSizing(chain_mcups=PAPER_RESIDUAL_CHAIN_MCUPS,
+                       align_mcups=PAPER_RESIDUAL_ALIGN_MCUPS)

@@ -1,0 +1,85 @@
+"""Host integration model: PCIe bandwidth and wire encodings (§7.4).
+
+GenPairX saturates at 192.7 MPair/s.  The host must stream read-pairs in
+(2-bit encoded: a 150bp read-pair is 2 x 38 = 76 bytes, the paper rounds
+to 75) and results out (8-byte locations + ~20-byte CIGAR strings per
+pair).  The paper concludes 14.5 GB/s in / 5.4 GB/s out, within both
+PCIe Gen3 x16 and Gen4 x16.  This module reproduces that accounting and
+exposes it for other design points (different read lengths or rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """One PCIe configuration: usable bandwidth in GB/s."""
+
+    name: str
+    lanes: int
+    #: Effective per-lane bandwidth after encoding overhead, GB/s.
+    lane_bandwidth_gbps: float
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.lanes * self.lane_bandwidth_gbps
+
+
+#: PCIe Gen3 x16: 8 GT/s with 128b/130b -> ~0.985 GB/s per lane.
+PCIE_GEN3_X16 = PcieLink("PCIe Gen3 x16", lanes=16,
+                         lane_bandwidth_gbps=0.985)
+
+#: PCIe Gen4 x16: 16 GT/s -> ~1.969 GB/s per lane.
+PCIE_GEN4_X16 = PcieLink("PCIe Gen4 x16", lanes=16,
+                         lane_bandwidth_gbps=1.969)
+
+
+def pair_wire_bytes(read_length: int = 150) -> int:
+    """2-bit wire encoding of one read-pair (both mates)."""
+    per_read = (read_length + 3) // 4
+    return 2 * per_read
+
+
+#: Result record: 8-byte location plus ~20-byte CIGAR (§7.4).
+RESULT_BYTES_PER_PAIR = 8 + 20
+
+
+@dataclass(frozen=True)
+class HostBandwidthReport:
+    """Input/output bandwidth demand at a given pair rate."""
+
+    pair_rate_mpairs: float
+    read_length: int
+    input_gbps: float
+    output_gbps: float
+
+    def fits(self, link: PcieLink) -> bool:
+        """Does the (full-duplex) link sustain both directions?"""
+        return (self.input_gbps <= link.bandwidth_gbps
+                and self.output_gbps <= link.bandwidth_gbps)
+
+
+def host_bandwidth(pair_rate_mpairs: float = 192.7,
+                   read_length: int = 150) -> HostBandwidthReport:
+    """Compute host-side bandwidth demand (paper: 14.5 in / 5.4 out)."""
+    rate = pair_rate_mpairs * 1e6
+    input_gbps = rate * pair_wire_bytes(read_length) / 1e9
+    output_gbps = rate * RESULT_BYTES_PER_PAIR / 1e9
+    return HostBandwidthReport(pair_rate_mpairs=pair_rate_mpairs,
+                               read_length=read_length,
+                               input_gbps=input_gbps,
+                               output_gbps=output_gbps)
+
+
+def link_feasibility(report: HostBandwidthReport
+                     ) -> Dict[str, Tuple[float, bool]]:
+    """Per-link (headroom factor, fits) for the standard PCIe options."""
+    out = {}
+    for link in (PCIE_GEN3_X16, PCIE_GEN4_X16):
+        demand = max(report.input_gbps, report.output_gbps)
+        out[link.name] = (link.bandwidth_gbps / demand if demand else
+                          float("inf"), report.fits(link))
+    return out

@@ -1,0 +1,69 @@
+"""Memory technology models: HBM2, GDDR6, DDR5 channel configurations.
+
+NMSL's throughput is bounded by how many small random accesses per second
+the memory can serve across its channels (§5.2, §7.5).  Each technology is
+modeled by its channel count, per-channel bandwidth, and an *effective
+random-access service interval* — the average time one channel needs per
+independent lookup, folding in row-cycle constraints and bank-level
+parallelism.  One request's service time is::
+
+    service = random_access_ns + burst_bytes / bandwidth
+
+The per-technology constants are calibrated so the SeedMap-query
+throughput ordering and ratios of Table 6 are reproduced (HBM2 ~11x DDR5,
+~10x GDDR6); the calibration is validated in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """One memory technology attached to NMSL."""
+
+    name: str
+    channels: int
+    #: Sustainable sequential bandwidth per channel, GB/s.
+    channel_bandwidth_gbps: float
+    #: Effective service interval per independent random access, ns.
+    random_access_ns: float
+    #: Active power per channel, mW (feeds the §7.5 power analysis).
+    channel_power_mw: float
+
+    def service_time_ns(self, burst_bytes: int) -> float:
+        """Time for one request with a ``burst_bytes`` payload."""
+        transfer = burst_bytes / self.channel_bandwidth_gbps
+        return self.random_access_ns + transfer
+
+    @property
+    def total_bandwidth_gbps(self) -> float:
+        return self.channels * self.channel_bandwidth_gbps
+
+
+#: HBM2e as configured in §6: four 8GB stacks, eight 128-bit channels per
+#: stack (32 channels), 2 GB/s per pin -> 32 GB/s per channel.  The
+#: effective random-access interval reflects bank-level parallelism
+#: hiding most of tRC.
+HBM2 = MemoryConfig(name="HBM2", channels=32, channel_bandwidth_gbps=32.0,
+                    random_access_ns=26.0, channel_power_mw=780.0)
+
+#: GDDR6: 8 channels; high burst bandwidth but bank-group timing limits
+#: independent random accesses per channel.
+GDDR6 = MemoryConfig(name="GDDR6", channels=8,
+                     channel_bandwidth_gbps=64.0,
+                     random_access_ns=63.0, channel_power_mw=2300.0)
+
+#: DDR5-4800, 4 channels (commodity server configuration).
+DDR5 = MemoryConfig(name="DDR5", channels=4,
+                    channel_bandwidth_gbps=38.4,
+                    random_access_ns=37.0, channel_power_mw=3200.0)
+
+#: DDR4-2933 6-channel, the CPU baseline's memory (Table 2).
+DDR4 = MemoryConfig(name="DDR4", channels=6,
+                    channel_bandwidth_gbps=23.5,
+                    random_access_ns=45.0, channel_power_mw=2800.0)
+
+MEMORY_PRESETS = {config.name: config
+                  for config in (HBM2, GDDR6, DDR5, DDR4)}

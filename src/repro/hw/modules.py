@@ -1,0 +1,115 @@
+"""Performance/cost models of GenPairX's compute modules (§5, §7.2).
+
+Each module's per-instance throughput is derived from its cycle behaviour
+at the 2 GHz clock, parameterized by the workload statistics the pipeline
+measures (filter iterations per pair, light alignments per pair):
+
+* **Partitioned Seeding** — fully pipelined xxHash units, one per seed;
+  data-independent initiation interval (333 MPair/s per instance);
+* **Paired-Adjacency Filtering** — one comparator step per cycle, so
+  cycles/pair = mean filter iterations (paper: 24.1 -> 83 MPair/s);
+* **Light Alignment** — one alignment takes ``read_length + 6`` cycles
+  (masks in 1 cycle, bidirectional run scan over the read, compare);
+  cycles/pair = that times the mean alignments per pair (paper: 11.6 ->
+  1.1 MPair/s per instance, 174 instances).
+
+Per-instance area/power constants are the paper's 28nm synthesis results
+scaled to 7nm (Table 4 divided by the §7.2 instance counts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .scaling import BlockCost
+
+#: GenPairX clock frequency, GHz (§6: "All components operate at 2.0 GHz").
+CLOCK_GHZ = 2.0
+
+#: Per-instance block costs at the 7nm comparison node (Table 4 /
+#: instance counts of Table 3).
+SEEDING_INSTANCE_COST = BlockCost(area_mm2=0.016, power_mw=82.4)
+FILTERING_INSTANCE_COST = BlockCost(area_mm2=0.027 / 3, power_mw=15.6 / 3)
+LIGHT_INSTANCE_COST = BlockCost(area_mm2=0.53 / 174, power_mw=453.6 / 174)
+
+#: Pipelined seeding initiation interval, cycles per read-pair
+#: (six parallel hash units; 2 GHz / 6 cycles = 333 MPair/s).
+SEEDING_CYCLES_PER_PAIR = 6.0
+
+#: Seeding pipeline depth (latency), cycles (Table 3).
+SEEDING_LATENCY_CYCLES = 10.0
+
+#: Extra cycles per light alignment beyond the read length (mask compute
+#: plus final segment comparison; 150bp -> 156 cycles, §7.2).
+LIGHT_OVERHEAD_CYCLES = 6.0
+
+
+@dataclass(frozen=True)
+class ModuleSizing:
+    """One row of Table 3: module throughput, latency and instance count."""
+
+    name: str
+    throughput_mpairs: float  # per instance
+    latency_cycles: float
+    instances: int
+    instance_cost: BlockCost
+
+    @property
+    def total_cost(self) -> BlockCost:
+        return self.instance_cost.times(self.instances)
+
+    @property
+    def aggregate_throughput_mpairs(self) -> float:
+        return self.throughput_mpairs * self.instances
+
+
+def _instances_for(target_mpairs: float, per_instance: float) -> int:
+    if per_instance <= 0:
+        raise ValueError("per-instance throughput must be positive")
+    return max(1, math.ceil(target_mpairs / per_instance))
+
+
+def seeding_module(target_mpairs: float,
+                   clock_ghz: float = CLOCK_GHZ) -> ModuleSizing:
+    """Size the Partitioned Seeding module for a target pair rate."""
+    per_instance = clock_ghz * 1e3 / SEEDING_CYCLES_PER_PAIR  # MPair/s
+    return ModuleSizing(
+        name="Partitioned Seeding",
+        throughput_mpairs=per_instance,
+        latency_cycles=SEEDING_LATENCY_CYCLES,
+        instances=_instances_for(target_mpairs, per_instance),
+        instance_cost=SEEDING_INSTANCE_COST)
+
+
+def filtering_module(target_mpairs: float,
+                     mean_iterations_per_pair: float = 24.1,
+                     clock_ghz: float = CLOCK_GHZ) -> ModuleSizing:
+    """Size Paired-Adjacency Filtering from measured iterations/pair."""
+    if mean_iterations_per_pair <= 0:
+        mean_iterations_per_pair = 1.0
+    per_instance = clock_ghz * 1e3 / mean_iterations_per_pair
+    return ModuleSizing(
+        name="Paired-Adjacency Filtering",
+        throughput_mpairs=per_instance,
+        latency_cycles=mean_iterations_per_pair,
+        instances=_instances_for(target_mpairs, per_instance),
+        instance_cost=FILTERING_INSTANCE_COST)
+
+
+def light_alignment_module(target_mpairs: float,
+                           read_length: int = 150,
+                           mean_alignments_per_pair: float = 11.6,
+                           clock_ghz: float = CLOCK_GHZ) -> ModuleSizing:
+    """Size the Light Alignment module from measured alignments/pair."""
+    cycles_per_alignment = read_length + LIGHT_OVERHEAD_CYCLES
+    if mean_alignments_per_pair <= 0:
+        mean_alignments_per_pair = 1.0
+    cycles_per_pair = cycles_per_alignment * mean_alignments_per_pair
+    per_instance = clock_ghz * 1e3 / cycles_per_pair
+    return ModuleSizing(
+        name="Light Alignment",
+        throughput_mpairs=per_instance,
+        latency_cycles=cycles_per_alignment,
+        instances=_instances_for(target_mpairs, per_instance),
+        instance_cost=LIGHT_INSTANCE_COST)

@@ -1,0 +1,39 @@
+"""CMOS technology scaling (Stiller et al. factors used by the paper).
+
+The paper synthesizes GenPairX's logic in 28nm and models SRAM at 22nm,
+then scales both to 7nm for a fair comparison with GenDP (§6, Table 4
+footnotes): *"scaled with power and area scaling factor 3.5 and 1.91
+(20→7) from Stiller et al."*  We encode exactly those factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Power scaling factor applied when moving the paper's synthesized blocks
+#: to the 7nm comparison node (divide by this).
+POWER_SCALE_TO_7NM = 3.5
+
+#: Area scaling factor to the 7nm comparison node (divide by this).
+AREA_SCALE_TO_7NM = 1.91
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """Area (mm^2) and power (mW) of one hardware block at one node."""
+
+    area_mm2: float
+    power_mw: float
+
+    def scaled_to_7nm(self) -> "BlockCost":
+        """Apply the paper's Stiller et al. scaling to 7nm."""
+        return BlockCost(area_mm2=self.area_mm2 / AREA_SCALE_TO_7NM,
+                         power_mw=self.power_mw / POWER_SCALE_TO_7NM)
+
+    def __add__(self, other: "BlockCost") -> "BlockCost":
+        return BlockCost(self.area_mm2 + other.area_mm2,
+                         self.power_mw + other.power_mw)
+
+    def times(self, count: int) -> "BlockCost":
+        """Cost of ``count`` replicated instances."""
+        return BlockCost(self.area_mm2 * count, self.power_mw * count)

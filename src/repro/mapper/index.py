@@ -1,0 +1,74 @@
+"""Minimizer index over a reference genome (baseline mapper's index).
+
+Maps each minimizer hash to the sorted global positions where it occurs.
+Like Minimap2, hashes occurring more often than ``max_occurrences`` are
+masked out of the index (the same heuristic family as GenPair's index
+filtering threshold, §5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..genome.reference import ReferenceGenome
+from .minimizer import extract_minimizers
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Build statistics of a minimizer index."""
+
+    total_minimizers: int
+    distinct_hashes: int
+    masked_hashes: int
+
+
+class MinimizerIndex:
+    """Hash -> sorted global positions of that minimizer."""
+
+    def __init__(self, k: int, w: int,
+                 table: Dict[int, np.ndarray],
+                 stats: IndexStats) -> None:
+        self.k = k
+        self.w = w
+        self._table = table
+        self.stats = stats
+
+    @classmethod
+    def build(cls, reference: ReferenceGenome, k: int = 15, w: int = 10,
+              max_occurrences: Optional[int] = 500) -> "MinimizerIndex":
+        """Build the index across all chromosomes."""
+        collected: Dict[int, list] = {}
+        total = 0
+        for name in reference.names:
+            codes = reference.fetch(name, 0, reference.length(name))
+            offset = reference.linear_offset(name)
+            for minimizer in extract_minimizers(codes, k, w):
+                collected.setdefault(minimizer.hash_value, []).append(
+                    minimizer.position + offset)
+                total += 1
+        table: Dict[int, np.ndarray] = {}
+        masked = 0
+        for hash_value, positions in collected.items():
+            if max_occurrences is not None and \
+                    len(positions) > max_occurrences:
+                masked += 1
+                continue
+            table[hash_value] = np.array(sorted(positions), dtype=np.int64)
+        stats = IndexStats(total_minimizers=total,
+                           distinct_hashes=len(table),
+                           masked_hashes=masked)
+        return cls(k, w, table, stats)
+
+    def lookup(self, hash_value: int) -> np.ndarray:
+        """Sorted global positions for a hash (empty array if absent)."""
+        positions = self._table.get(int(hash_value))
+        if positions is None:
+            return np.zeros(0, dtype=np.int64)
+        return positions
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,58 @@
+"""(w, k) minimizer extraction, as used by the Minimap2 baseline.
+
+A minimizer is the smallest-hashed k-mer in every window of ``w``
+consecutive k-mers; indexing only minimizers shrinks the index ~2/(w+1)-
+fold while guaranteeing that any exact match of length ``w + k - 1``
+shares one.  The baseline mapper ("MM2" in the paper's evaluation) builds
+on these, in contrast to GenPair's fixed-offset 50bp partitioned seeds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..hashing import hash_reference_windows
+
+
+@dataclass(frozen=True)
+class Minimizer:
+    """One selected minimizer: k-mer hash and its start position."""
+
+    position: int
+    hash_value: int
+
+
+def extract_minimizers(codes: np.ndarray, k: int = 15,
+                       w: int = 10) -> List[Minimizer]:
+    """Extract (w, k) minimizers from a code array.
+
+    Uses the standard monotone-deque sliding-window minimum; consecutive
+    windows sharing the same minimizer emit it once.
+    """
+    if k <= 0 or w <= 0:
+        raise ValueError("k and w must be positive")
+    if len(codes) < k:
+        return []
+    hashes = hash_reference_windows(codes, k).tolist()
+    count = len(hashes)
+    window = min(w, count)
+    result: List[Minimizer] = []
+    queue: deque = deque()  # indices, increasing hash order
+    last_emitted = -1
+    for index in range(count):
+        while queue and hashes[queue[-1]] >= hashes[index]:
+            queue.pop()
+        queue.append(index)
+        if queue[0] <= index - window:
+            queue.popleft()
+        if index >= window - 1:
+            best = queue[0]
+            if best != last_emitted:
+                result.append(Minimizer(position=best,
+                                        hash_value=hashes[best]))
+                last_emitted = best
+    return result

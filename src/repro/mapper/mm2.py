@@ -1,0 +1,358 @@
+"""Seed-chain-align baseline mapper (the evaluation's "MM2").
+
+A compact reimplementation of the Minimap2 short-read pipeline the paper
+profiles and compares against: minimizer seeding, O(n·lookback) chaining
+DP, banded affine-gap alignment, and paired-end resolution with mate
+rescue.  It serves three roles:
+
+* the software baseline of Fig 1 (stage breakdown) and Fig 11 (CPU rows);
+* the fallback engine behind "GenPair + MM2" — see :func:`make_full_fallback`;
+* the accuracy reference for Table 7.
+
+The mapper aggregates DP-cell counts for chaining and alignment separately,
+which is exactly the split the paper uses to size GenDP for the residual
+workload (331,772 MCUPS chaining vs 3,469,180 MCUPS alignment per million
+reads, §7.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..align.banded import align_banded
+from ..align.chaining import Anchor, chain_anchors
+from ..align.dp import AlignmentResult
+from ..align.scoring import DEFAULT_SCHEME, ScoringScheme
+from ..genome.cigar import Cigar
+from ..genome.reference import ReferenceGenome
+from ..genome.sam import METHOD_DP, AlignmentRecord
+from ..genome.sequence import reverse_complement
+from .index import MinimizerIndex
+from .minimizer import extract_minimizers
+from .profiler import StageTimer
+
+
+@dataclass(frozen=True)
+class MapperConfig:
+    """Baseline mapper parameters (minimap2 short-read flavoured)."""
+
+    k: int = 15
+    w: int = 10
+    max_occurrences: int = 500
+    max_gap: int = 500
+    max_chains_tried: int = 4
+    bandwidth: int = 16
+    window_pad: int = 32
+    min_chain_score: float = 20.0
+    max_insert: int = 1000
+    #: Alignments below this fraction of the perfect score are unmapped.
+    min_score_fraction: float = 0.4
+
+
+@dataclass
+class MapperStats:
+    """DP accounting and outcome counters."""
+
+    reads_seen: int = 0
+    reads_mapped: int = 0
+    pairs_seen: int = 0
+    pairs_proper: int = 0
+    mate_rescues: int = 0
+    anchors_total: int = 0
+    dp_cells_chaining: int = 0
+    dp_cells_alignment: int = 0
+
+
+@dataclass(frozen=True)
+class _Placement:
+    """Internal: one scored candidate placement of a read."""
+
+    score: int
+    linear_start: int
+    strand: str
+    alignment: AlignmentResult
+
+
+class Mm2LikeMapper:
+    """Minimizer seed-chain-align mapper with paired-end support."""
+
+    def __init__(self, reference: ReferenceGenome,
+                 index: Optional[MinimizerIndex] = None,
+                 config: MapperConfig = MapperConfig(),
+                 scheme: ScoringScheme = DEFAULT_SCHEME,
+                 timer: Optional[StageTimer] = None) -> None:
+        self.reference = reference
+        self.config = config
+        self.scheme = scheme
+        self.index = index if index is not None else MinimizerIndex.build(
+            reference, k=config.k, w=config.w,
+            max_occurrences=config.max_occurrences)
+        self.timer = timer if timer is not None else StageTimer()
+        self.stats = MapperStats()
+
+    # -- single-end ----------------------------------------------------------
+
+    def map_read(self, codes: np.ndarray, name: str = "read",
+                 mate: int = 0) -> AlignmentRecord:
+        """Map one read; returns an unmapped record if nothing scores."""
+        self.stats.reads_seen += 1
+        placements = self._placements(codes)
+        min_score = int(self.config.min_score_fraction
+                        * self.scheme.perfect_score(len(codes)))
+        placements = [p for p in placements if p.score >= min_score]
+        if not placements:
+            return AlignmentRecord(query_name=name, mapped=False,
+                                   read_codes=codes, mate=mate)
+        best = placements[0]
+        mapq = 60
+        if len(placements) > 1 and placements[1].score >= best.score - 4:
+            mapq = 3
+        self.stats.reads_mapped += 1
+        return self._to_record(best, codes, name, mate, mapq)
+
+    # -- paired-end ----------------------------------------------------------
+
+    def map_pair(self, read1: np.ndarray, read2: np.ndarray,
+                 name: str = "pair"
+                 ) -> Tuple[AlignmentRecord, AlignmentRecord, bool]:
+        """Map a pair; returns (record1, record2, proper_pair).
+
+        Strategy: fully map read 1, then place read 2 by *mate rescue* —
+        a banded alignment inside the window implied by the insert-size
+        constraint (both reads of a proper pair are within ``max_insert``).
+        If rescue fails, read 2 is mapped independently; the final records
+        are the best-scoring consistent combination.
+        """
+        self.stats.pairs_seen += 1
+        placements1 = self._placements(read1)
+        placements2 = self._placements(read2)
+        with self.timer.stage("pairing"):
+            combo = self._best_combo(placements1, placements2,
+                                     len(read1), len(read2))
+        if combo is None:
+            rescued = self._try_rescue(read1, read2, placements1,
+                                       placements2)
+            if rescued is not None:
+                combo = rescued
+                self.stats.mate_rescues += 1
+        if combo is None:
+            record1 = self._best_single(placements1, read1, f"{name}/1", 1)
+            record2 = self._best_single(placements2, read2, f"{name}/2", 2)
+            return record1, record2, False
+        place1, place2 = combo
+        self.stats.pairs_proper += 1
+        self.stats.reads_mapped += 2
+        record1 = self._to_record(place1, read1, f"{name}/1", 1, 60)
+        record2 = self._to_record(place2, read2, f"{name}/2", 2, 60)
+        record1.set_mate(record2)
+        record2.set_mate(record1)
+        return record1, record2, True
+
+    # -- pipeline stages -----------------------------------------------------
+
+    def _placements(self, codes: np.ndarray,
+                    max_placements: int = 4) -> List[_Placement]:
+        """Seed, chain, and align one read on both strands."""
+        with self.timer.stage("seeding"):
+            anchors_fwd = self._anchors(codes)
+            rc = reverse_complement(codes)
+            anchors_rev = self._anchors(rc)
+            self.stats.anchors_total += len(anchors_fwd) + len(anchors_rev)
+        with self.timer.stage("chaining"):
+            chains = []
+            result_fwd = chain_anchors(anchors_fwd,
+                                       max_gap=self.config.max_gap,
+                                       min_score=self.config.min_chain_score)
+            result_rev = chain_anchors(anchors_rev,
+                                       max_gap=self.config.max_gap,
+                                       min_score=self.config.min_chain_score)
+            self.stats.dp_cells_chaining += (result_fwd.cells
+                                             + result_rev.cells)
+            chains.extend(("+", chain) for chain in result_fwd.chains)
+            chains.extend(("-", chain) for chain in result_rev.chains)
+            chains.sort(key=lambda item: -item[1].score)
+        placements: List[_Placement] = []
+        with self.timer.stage("alignment"):
+            for strand, chain in chains[:self.config.max_chains_tried]:
+                oriented = codes if strand == "+" else rc
+                placement = self._align_chain(oriented, strand, chain)
+                if placement is not None:
+                    placements.append(placement)
+        placements.sort(key=lambda p: -p.score)
+        return placements[:max_placements]
+
+    def _anchors(self, codes: np.ndarray) -> List[Anchor]:
+        anchors: List[Anchor] = []
+        for minimizer in extract_minimizers(codes, self.config.k,
+                                            self.config.w):
+            for position in self.index.lookup(minimizer.hash_value
+                                              ).tolist():
+                anchors.append(Anchor(ref_pos=position,
+                                      read_pos=minimizer.position,
+                                      length=self.config.k))
+        return anchors
+
+    def _align_chain(self, oriented: np.ndarray, strand: str, chain
+                     ) -> Optional[_Placement]:
+        """Banded alignment in the window implied by a chain."""
+        implied_start = chain.diagonal
+        window = self._window(implied_start, len(oriented))
+        if window is None:
+            return None
+        ref_window, offset, window_start = window
+        result = align_banded(oriented, ref_window, scheme=self.scheme,
+                              diagonal=offset,
+                              bandwidth=self.config.bandwidth)
+        self.stats.dp_cells_alignment += result.cells
+        if result.score < 0:
+            return None
+        return _Placement(score=result.score,
+                          linear_start=window_start + result.ref_start,
+                          strand=strand, alignment=result)
+
+    def _window(self, linear_start: int, read_length: int):
+        """Reference window around an implied start, clamped in-chromosome."""
+        pad = self.config.window_pad
+        try:
+            chromosome, pos = self.reference.from_linear(
+                max(0, int(linear_start)))
+        except Exception:
+            return None
+        chrom_len = self.reference.length(chromosome)
+        start = max(0, pos - pad)
+        end = min(chrom_len, pos + read_length + pad)
+        if end - start < read_length // 2:
+            return None
+        window = self.reference.fetch(chromosome, start, end)
+        window_linear = self.reference.linear_offset(chromosome) + start
+        return window, pos - start, window_linear
+
+    # -- pairing -------------------------------------------------------------
+
+    def _best_combo(self, placements1: List[_Placement],
+                    placements2: List[_Placement], len1: int, len2: int
+                    ) -> Optional[Tuple[_Placement, _Placement]]:
+        """Best properly-oriented combination within the insert bound."""
+        best = None
+        for place1 in placements1:
+            for place2 in placements2:
+                if not self._proper(place1, place2, len1):
+                    continue
+                score = place1.score + place2.score
+                if best is None or score > best[0]:
+                    best = (score, (place1, place2))
+        return None if best is None else best[1]
+
+    def _proper(self, place1: _Placement, place2: _Placement,
+                read_length: int) -> bool:
+        if place1.strand == place2.strand:
+            return False
+        if place1.strand == "+":
+            gap = place2.linear_start - place1.linear_start
+        else:
+            gap = place1.linear_start - place2.linear_start
+        return -read_length // 2 <= gap <= self.config.max_insert
+
+    def _try_rescue(self, read1: np.ndarray, read2: np.ndarray,
+                    placements1: List[_Placement],
+                    placements2: List[_Placement]
+                    ) -> Optional[Tuple[_Placement, _Placement]]:
+        """Rescue the unplaced mate near the placed one."""
+        if placements1:
+            anchor = placements1[0]
+            mate = self._rescue_mate(anchor, read2)
+            if mate is not None:
+                return anchor, mate
+        if placements2:
+            anchor = placements2[0]
+            mate = self._rescue_mate(anchor, read1)
+            if mate is not None:
+                return mate, anchor
+        return None
+
+    def _rescue_mate(self, anchor: _Placement, mate_codes: np.ndarray
+                     ) -> Optional[_Placement]:
+        """Banded search for the mate in the insert-size window."""
+        mate_strand = "-" if anchor.strand == "+" else "+"
+        oriented = (reverse_complement(mate_codes) if mate_strand == "-"
+                    else mate_codes)
+        if anchor.strand == "+":
+            lo = anchor.linear_start
+            hi = anchor.linear_start + self.config.max_insert
+        else:
+            lo = anchor.linear_start - self.config.max_insert
+            hi = anchor.linear_start + len(mate_codes)
+        try:
+            chromosome, pos = self.reference.from_linear(
+                max(0, int(lo)))
+        except Exception:
+            return None
+        chrom_offset = self.reference.linear_offset(chromosome)
+        chrom_len = self.reference.length(chromosome)
+        start = max(0, pos)
+        end = min(chrom_len, hi - chrom_offset + len(mate_codes))
+        if end - start < len(mate_codes):
+            return None
+        window = self.reference.fetch(chromosome, start, end)
+        # Wide band: the mate can sit anywhere in the insert window.
+        result = align_banded(oriented, window, scheme=self.scheme,
+                              diagonal=(end - start) // 2,
+                              bandwidth=(end - start) // 2 + 8)
+        self.stats.dp_cells_alignment += result.cells
+        min_score = int(self.config.min_score_fraction
+                        * self.scheme.perfect_score(len(mate_codes)))
+        if result.score < min_score:
+            return None
+        return _Placement(score=result.score,
+                          linear_start=chrom_offset + start
+                          + result.ref_start,
+                          strand=mate_strand, alignment=result)
+
+    # -- record construction ---------------------------------------------
+
+    def _best_single(self, placements: List[_Placement],
+                     codes: np.ndarray, name: str,
+                     mate: int) -> AlignmentRecord:
+        min_score = int(self.config.min_score_fraction
+                        * self.scheme.perfect_score(len(codes)))
+        viable = [p for p in placements if p.score >= min_score]
+        if not viable:
+            return AlignmentRecord(query_name=name, mapped=False,
+                                   read_codes=codes, mate=mate)
+        self.stats.reads_mapped += 1
+        return self._to_record(viable[0], codes, name, mate, 20)
+
+    def _to_record(self, placement: _Placement, codes: np.ndarray,
+                   name: str, mate: int, mapq: int) -> AlignmentRecord:
+        chromosome, pos = self.reference.from_linear(
+            placement.linear_start)
+        return AlignmentRecord(query_name=name, chromosome=chromosome,
+                               position=pos, strand=placement.strand,
+                               mapq=mapq, cigar=placement.alignment.cigar,
+                               score=placement.score, read_codes=codes,
+                               mate=mate, mapped=True, method=METHOD_DP)
+
+
+def make_full_fallback(mapper: Mm2LikeMapper):
+    """Adapt a baseline mapper into a GenPair full-pipeline fallback.
+
+    The returned callable satisfies
+    :data:`repro.core.pipeline.FullFallback`: it maps the pair with the
+    traditional seed-chain-align pipeline and reports the DP cells spent,
+    so the hybrid "GenPair + MM2" / "GenPairX + GenDP" accounting stays
+    correct.
+    """
+    def fallback(read1: np.ndarray, read2: np.ndarray, name: str):
+        before = (mapper.stats.dp_cells_chaining
+                  + mapper.stats.dp_cells_alignment)
+        record1, record2, _proper = mapper.map_pair(read1, read2, name)
+        after = (mapper.stats.dp_cells_chaining
+                 + mapper.stats.dp_cells_alignment)
+        if not record1.mapped and not record2.mapped:
+            return None
+        return record1, record2, after - before
+
+    return fallback

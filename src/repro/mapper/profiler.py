@@ -1,0 +1,52 @@
+"""Per-stage wall-clock accounting for the baseline mapper (Fig 1).
+
+The paper's first experiment profiles where Minimap2 spends its time on
+paired-end data (chaining + alignment: 83-85%).  :class:`StageTimer` is a
+tiny accumulator the mapper wraps around each pipeline stage so that the
+Fig 1 bench can print the same breakdown for the reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+#: Canonical stage names, in pipeline order.
+STAGES = ("seeding", "chaining", "alignment", "pairing", "other")
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock seconds per named stage."""
+
+    seconds: Dict[str, float] = field(
+        default_factory=lambda: {stage: 0.0 for stage in STAGES})
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager timing one stage occurrence."""
+        if name not in self.seconds:
+            self.seconds[name] = 0.0
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] += time.perf_counter() - start
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def breakdown_percent(self) -> Dict[str, float]:
+        """Stage shares in percent (zeros preserved)."""
+        total = self.total
+        if total == 0:
+            return {name: 0.0 for name in self.seconds}
+        return {name: 100.0 * value / total
+                for name, value in self.seconds.items()}
+
+    def reset(self) -> None:
+        for name in self.seconds:
+            self.seconds[name] = 0.0

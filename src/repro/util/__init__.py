@@ -1,0 +1,5 @@
+"""Shared utilities for benches and examples."""
+
+from .tables import format_table, paper_vs_measured
+
+__all__ = ["format_table", "paper_vs_measured"]

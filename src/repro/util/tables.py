@@ -1,0 +1,55 @@
+"""ASCII table rendering shared by the benchmark harnesses.
+
+Every bench prints the same rows/series as the paper's tables and figures;
+these helpers keep that output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Cell]],
+                 title: Optional[str] = None) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows: List[List[str]] = [[_format_cell(c) for c in row]
+                                 for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i])
+                            for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured(rows: Iterable[Sequence[Cell]],
+                      title: Optional[str] = None,
+                      metric_header: str = "metric") -> str:
+    """Standard three-column report: metric, paper value, measured value."""
+    return format_table((metric_header, "paper", "measured"), rows,
+                        title=title)

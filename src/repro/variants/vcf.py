@@ -1,0 +1,59 @@
+"""Minimal VCF writing/reading for :class:`repro.genome.Variant` records.
+
+Enough of VCF 4.2 for the examples to round-trip call sets to disk: the
+fixed columns plus a ``GT`` sample field carrying the diploid genotype.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..genome.reference import ReferenceGenome
+from ..genome.variants import Variant
+
+PathLike = Union[str, Path]
+
+
+def write_vcf(path: PathLike, variants: Iterable[Variant],
+              reference: ReferenceGenome = None,
+              sample: str = "sample") -> int:
+    """Write variants as VCF; returns the record count."""
+    count = 0
+    with open(path, "w") as handle:
+        handle.write("##fileformat=VCFv4.2\n")
+        handle.write('##FORMAT=<ID=GT,Number=1,Type=String,'
+                     'Description="Genotype">\n')
+        if reference is not None:
+            for name in reference.names:
+                handle.write(f"##contig=<ID={name},"
+                             f"length={reference.length(name)}>\n")
+        handle.write("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO"
+                     f"\tFORMAT\t{sample}\n")
+        for variant in variants:
+            genotype = "1/1" if variant.genotype == "hom" else "0/1"
+            handle.write(
+                f"{variant.chromosome}\t{variant.position + 1}\t.\t"
+                f"{variant.ref}\t{variant.alt}\t30\tPASS\t.\tGT\t"
+                f"{genotype}\n")
+            count += 1
+    return count
+
+
+def read_vcf(path: PathLike) -> List[Variant]:
+    """Read a VCF written by :func:`write_vcf` back into variants."""
+    variants: List[Variant] = []
+    with open(path) as handle:
+        for line in handle:
+            if line.startswith("#"):
+                continue
+            fields = line.rstrip("\n").split("\t")
+            if len(fields) < 5:
+                continue
+            genotype = "het"
+            if len(fields) >= 10 and fields[9].startswith("1/1"):
+                genotype = "hom"
+            variants.append(Variant(
+                chromosome=fields[0], position=int(fields[1]) - 1,
+                ref=fields[3], alt=fields[4], genotype=genotype))
+    return variants

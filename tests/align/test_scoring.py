@@ -1,0 +1,69 @@
+"""Tests for the Table 1 scoring scheme."""
+
+import pytest
+
+from repro.align import DEFAULT_SCHEME, HIGH_QUALITY_THRESHOLD, \
+    ScoringScheme
+
+
+class TestTable1Rows:
+    """Every row of the paper's Table 1 must be reproduced exactly."""
+
+    @pytest.mark.parametrize("mismatches,ins,dele,expected", [
+        (0, 0, 0, 300),   # None
+        (1, 0, 0, 290),   # 1 Mismatch
+        (0, 0, 1, 286),   # 1 Deletion
+        (0, 1, 0, 284),   # 1 Insertion
+        (0, 0, 2, 284),   # 2 Consecutive Deletions
+        (0, 0, 3, 282),   # 3 Consecutive Deletions
+        (2, 0, 0, 280),   # 2 Mismatches
+        (0, 2, 0, 280),   # 2 Consecutive Insertions
+        (0, 0, 4, 280),   # 4 Consecutive Deletions
+        (0, 0, 5, 278),   # 5 Consecutive Deletions
+        (1, 0, 1, 276),   # 1 Mismatch & 1 Deletion
+    ])
+    def test_row(self, mismatches, ins, dele, expected):
+        assert DEFAULT_SCHEME.score_profile(
+            150, mismatches=mismatches, insertion_run=ins,
+            deletion_run=dele) == expected
+
+    def test_rows_below_threshold_excluded(self):
+        # 1 mismatch + 1 insertion scores 274 < 276: not in Table 1.
+        assert DEFAULT_SCHEME.score_profile(150, 1, 1, 0) \
+            < HIGH_QUALITY_THRESHOLD
+        # 3 mismatches scores 270.
+        assert DEFAULT_SCHEME.score_profile(150, 3) \
+            < HIGH_QUALITY_THRESHOLD
+
+
+class TestScheme:
+    def test_perfect_score(self):
+        assert DEFAULT_SCHEME.perfect_score(150) == 300
+        assert DEFAULT_SCHEME.perfect_score(100) == 200
+
+    def test_substitution_cost(self):
+        assert DEFAULT_SCHEME.substitution_cost() == 10
+
+    def test_gap_cost_affine(self):
+        assert DEFAULT_SCHEME.gap_cost(0) == 0
+        assert DEFAULT_SCHEME.gap_cost(1) == 14
+        assert DEFAULT_SCHEME.gap_cost(5) == 22
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SCHEME.score_profile(150, mismatches=-1)
+
+    def test_edits_exceeding_read_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SCHEME.score_profile(10, mismatches=8, insertion_run=5)
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(match=-1)
+
+    def test_custom_scheme(self):
+        scheme = ScoringScheme(match=1, mismatch=4, gap_open=6,
+                               gap_extend=1)
+        assert scheme.perfect_score(150) == 150
+        # one mismatch: forfeit its +1 match and pay the -4 penalty.
+        assert scheme.score_profile(150, 1) == 145

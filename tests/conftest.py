@@ -1,0 +1,71 @@
+"""Shared fixtures: a small reference, donor, simulator, and SeedMap.
+
+Session-scoped so the (relatively) expensive builds happen once; tests
+must treat these as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SeedMap
+from repro.genome import (ErrorModel, ReadSimulator, generate_reference,
+                          plant_variants)
+from repro.genome.reference import RepeatProfile
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_reference():
+    """~70kb two-chromosome reference with default repeat structure."""
+    return generate_reference(np.random.default_rng(7), (40_000, 30_000))
+
+
+@pytest.fixture(scope="session")
+def plain_reference():
+    """Repeat-free 30kb reference (every seed hits ~1 location)."""
+    return generate_reference(np.random.default_rng(11), (30_000,),
+                              repeats=None)
+
+
+@pytest.fixture(scope="session")
+def donor(small_reference):
+    return plant_variants(np.random.default_rng(13), small_reference)
+
+
+@pytest.fixture(scope="session")
+def simulator(small_reference, donor):
+    return ReadSimulator(small_reference, donor=donor,
+                         error_model=ErrorModel.giab_like(), seed=17)
+
+
+@pytest.fixture(scope="session")
+def clean_simulator(plain_reference):
+    """Error-free reads straight from the plain reference."""
+    return ReadSimulator(plain_reference,
+                         error_model=ErrorModel.perfect(), seed=19)
+
+
+@pytest.fixture(scope="session")
+def seedmap(small_reference):
+    return SeedMap.build(small_reference)
+
+
+@pytest.fixture(scope="session")
+def plain_seedmap(plain_reference):
+    return SeedMap.build(plain_reference)
+
+
+@pytest.fixture(scope="session")
+def sample_pairs(simulator):
+    return simulator.simulate_pairs(120)
+
+
+@pytest.fixture(scope="session")
+def clean_pairs(clean_simulator):
+    return clean_simulator.simulate_pairs(60)

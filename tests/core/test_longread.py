@@ -1,0 +1,67 @@
+"""Tests for the long-read mapping mode (§4.7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LongReadConfig, LongReadMapper
+from repro.genome import ErrorModel, ReadSimulator, random_sequence
+
+
+@pytest.fixture(scope="module")
+def long_mapper(plain_reference, plain_seedmap):
+    return LongReadMapper(plain_reference, seedmap=plain_seedmap)
+
+
+class TestLongReadMapper:
+    def test_clean_long_read_maps_exactly(self, plain_reference,
+                                          long_mapper):
+        codes = plain_reference.fetch("chr1", 4000, 7000)
+        record = long_mapper.map_read(codes, "clean")
+        assert record.mapped
+        assert record.chromosome == "chr1"
+        assert abs(record.position - 4000) <= 5
+        assert record.score > 0
+
+    def test_noisy_long_read_maps(self, plain_reference, plain_seedmap):
+        sim = ReadSimulator(plain_reference,
+                            error_model=ErrorModel.mason_default(0.003),
+                            seed=23)
+        mapper = LongReadMapper(plain_reference, seedmap=plain_seedmap)
+        reads = sim.simulate_long_reads(4, length_mean=3000,
+                                        length_sd=200, error_rate=0.005)
+        mapped = 0
+        for read in reads:
+            record = mapper.map_read(read.codes, read.name)
+            if record.mapped and \
+                    abs(record.position - read.ref_start) <= 100:
+                mapped += 1
+        assert mapped >= 3
+
+    def test_garbage_unmapped(self, long_mapper):
+        record = long_mapper.map_read(
+            random_sequence(np.random.default_rng(9), 2000), "junk")
+        assert not record.mapped
+
+    def test_stats_accumulate(self, plain_reference, plain_seedmap):
+        mapper = LongReadMapper(plain_reference, seedmap=plain_seedmap)
+        codes = plain_reference.fetch("chr1", 100, 1600)
+        mapper.map_read(codes, "a")
+        assert mapper.stats.reads_total == 1
+        assert mapper.stats.mapped == 1
+        assert mapper.stats.pseudo_pairs >= 8  # 1500bp -> 10 chunks
+        assert mapper.stats.dp_cells > 0
+
+    def test_pseudo_pair_distance_below_delta(self):
+        config = LongReadConfig(chunk_length=150, delta=500)
+        # Adjacent chunks are 150bp apart by construction.
+        assert config.chunk_length < config.delta
+
+    def test_voting_prefers_consistent_location(self, plain_reference,
+                                                plain_seedmap):
+        """A read spanning a duplicated region should still map where the
+        majority of its chunks vote."""
+        mapper = LongReadMapper(plain_reference, seedmap=plain_seedmap)
+        codes = plain_reference.fetch("chr1", 10_000, 12_400)
+        record = mapper.map_read(codes, "vote")
+        assert record.mapped
+        assert abs(record.position - 10_000) <= 64 + 5  # vote bin width

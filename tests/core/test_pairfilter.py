@@ -1,0 +1,71 @@
+"""Tests for Paired-Adjacency Filtering."""
+
+import numpy as np
+import pytest
+
+from repro.core import filter_adjacent
+
+
+def arr(*values):
+    return np.array(values, dtype=np.int64)
+
+
+class TestFilterAdjacent:
+    def test_simple_pass(self):
+        result = filter_adjacent(arr(1000), arr(1200), delta=500)
+        assert result.pairs == ((1000, 1200),)
+        assert result.passed
+
+    def test_distance_above_delta_rejected(self):
+        result = filter_adjacent(arr(1000), arr(1600), delta=500)
+        assert not result.passed
+
+    def test_wrong_order_rejected(self):
+        # read2 candidate far upstream of read1: not a proper FR pair.
+        result = filter_adjacent(arr(5000), arr(1000), delta=500)
+        assert not result.passed
+
+    def test_dovetail_tolerated(self):
+        result = filter_adjacent(arr(1000), arr(990), delta=500,
+                                 allow_dovetail=30)
+        assert result.passed
+
+    def test_dovetail_beyond_tolerance_rejected(self):
+        result = filter_adjacent(arr(1000), arr(900), delta=500,
+                                 allow_dovetail=30)
+        assert not result.passed
+
+    def test_multiple_candidates_all_found(self):
+        result = filter_adjacent(arr(1000, 8000), arr(1150, 8300, 20_000),
+                                 delta=500)
+        assert set(result.pairs) == {(1000, 1150), (8000, 8300)}
+
+    def test_one_read1_to_many_read2(self):
+        result = filter_adjacent(arr(1000), arr(1100, 1200, 1400),
+                                 delta=500)
+        assert set(result.pairs) == {(1000, 1100), (1000, 1200),
+                                     (1000, 1400)}
+
+    def test_empty_inputs(self):
+        assert not filter_adjacent(arr(), arr(1000)).passed
+        assert not filter_adjacent(arr(1000), arr()).passed
+        assert not filter_adjacent(arr(), arr()).passed
+
+    def test_max_pairs_cap(self):
+        many1 = np.arange(0, 3000, 100, dtype=np.int64)
+        many2 = np.arange(50, 3050, 100, dtype=np.int64)
+        result = filter_adjacent(many1, many2, delta=500, max_pairs=10)
+        assert len(result.pairs) == 10
+
+    def test_iterations_counted(self):
+        result = filter_adjacent(arr(1000, 2000, 3000),
+                                 arr(1100, 2100, 3100), delta=500)
+        assert result.iterations >= 3
+
+    def test_iterations_scale_with_list_length(self):
+        """Comparator work grows with candidate list sizes (§7.2)."""
+        small = filter_adjacent(arr(1000), arr(1100), delta=500)
+        big = filter_adjacent(np.arange(0, 100_000, 1000, dtype=np.int64),
+                              np.arange(500, 100_500, 1000,
+                                        dtype=np.int64), delta=100)
+        assert big.iterations > small.iterations * 10

@@ -1,0 +1,172 @@
+"""Tests for the end-to-end GenPair pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (GenPairConfig, GenPairPipeline, STAGE_DP_CANDIDATE,
+                        STAGE_FULL_DP, STAGE_LIGHT, STAGE_UNMAPPED)
+from repro.genome import (ErrorModel, ReadSimulator, random_sequence,
+                          reverse_complement)
+
+
+@pytest.fixture(scope="module")
+def pipeline(plain_reference, plain_seedmap):
+    return GenPairPipeline(plain_reference, seedmap=plain_seedmap)
+
+
+class TestCleanPairs:
+    def test_perfect_pairs_light_aligned(self, pipeline, clean_pairs):
+        for pair in clean_pairs[:20]:
+            result = pipeline.map_pair(pair.read1.codes, pair.read2.codes,
+                                       pair.name)
+            assert result.stage == STAGE_LIGHT
+            assert result.record1.position == pair.read1.ref_start
+            assert result.record2.position == pair.read2.ref_start
+            assert result.record1.strand == "+"
+            assert result.record2.strand == "-"
+            assert result.joint_score == 600
+
+    def test_swapped_pair_maps_in_rf_orientation(self, pipeline,
+                                                 clean_pairs):
+        pair = clean_pairs[0]
+        result = pipeline.map_pair(pair.read2.codes, pair.read1.codes,
+                                   "swapped")
+        assert result.mapped
+        assert result.orientation == "rf"
+        # Physical read 1 (originally read2) must map to read2's locus.
+        assert result.record1.position == pair.read2.ref_start
+        assert result.record1.strand == "-"
+        assert result.record2.position == pair.read1.ref_start
+
+    def test_record_naming_and_mates(self, pipeline, clean_pairs):
+        result = pipeline.map_pair(clean_pairs[1].read1.codes,
+                                   clean_pairs[1].read2.codes, "p")
+        assert result.record1.query_name == "p/1"
+        assert result.record1.mate == 1
+        assert result.record2.query_name == "p/2"
+        assert result.record2.mate == 2
+
+
+class TestEditedPairs:
+    def test_single_mismatch_still_light(self, plain_reference,
+                                         plain_seedmap, clean_pairs):
+        pipeline = GenPairPipeline(plain_reference, seedmap=plain_seedmap)
+        pair = clean_pairs[2]
+        read1 = pair.read1.codes.copy()
+        read1[75] = (read1[75] + 1) % 4
+        result = pipeline.map_pair(read1, pair.read2.codes, pair.name)
+        assert result.stage == STAGE_LIGHT
+        assert result.record1.score == 290
+
+    def test_complex_read_goes_dp_candidate(self, plain_reference,
+                                            plain_seedmap, clean_pairs):
+        pipeline = GenPairPipeline(plain_reference, seedmap=plain_seedmap)
+        pair = clean_pairs[3]
+        # Two separated 1-base deletions: not light-alignable, but the
+        # first 50bp seed is intact so a candidate exists.
+        codes = pair.read1.codes
+        read1 = np.concatenate([codes[:60], codes[61:100], codes[101:],
+                                random_sequence(np.random.default_rng(0),
+                                                2)])[:150]
+        result = pipeline.map_pair(read1, pair.read2.codes, pair.name)
+        assert result.stage == STAGE_DP_CANDIDATE
+        assert abs(result.record1.position - pair.read1.ref_start) <= 3
+
+    def test_garbage_pair_unmapped_without_fallback(self, pipeline):
+        rng = np.random.default_rng(5)
+        result = pipeline.map_pair(random_sequence(rng, 150),
+                                   random_sequence(rng, 150), "junk")
+        assert result.stage == STAGE_UNMAPPED
+        assert not result.record1.mapped
+        assert pipeline.stats.unmapped >= 1
+
+    def test_far_apart_pair_filtered(self, plain_reference, plain_seedmap):
+        """Both reads exist in the genome but 20kb apart: Δ filter fails."""
+        pipeline = GenPairPipeline(plain_reference, seedmap=plain_seedmap)
+        read1 = plain_reference.fetch("chr1", 1000, 1150)
+        read2 = reverse_complement(plain_reference.fetch("chr1", 21_000,
+                                                         21_150))
+        result = pipeline.map_pair(read1, read2, "distant")
+        assert result.stage in (STAGE_UNMAPPED, STAGE_FULL_DP)
+        assert pipeline.stats.filter_fallback >= 1
+
+
+class TestStats:
+    def test_stage_percentages_sum(self, plain_reference, plain_seedmap,
+                                   sample_pairs, small_reference, seedmap):
+        pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
+        pipeline.map_pairs(sample_pairs)
+        stats = pipeline.stats
+        assert stats.pairs_total == len(sample_pairs)
+        buckets = (stats.light_mapped + stats.light_fallback
+                   + stats.seedmap_fallback + stats.filter_fallback
+                   + stats.residual_fallback)
+        assert buckets == stats.pairs_total
+        assert stats.genpair_mapped_pct > 60.0
+        assert stats.light_aligned_pct > 50.0
+        assert 0 < stats.mean_light_attempts < 40
+
+    def test_fig10_ordering(self, small_reference, seedmap, sample_pairs):
+        """Light fallback should dominate the other fallback arcs, as in
+        Fig 10 (13.06% > 8.79% > 2.09%)."""
+        pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
+        pipeline.map_pairs(sample_pairs)
+        stats = pipeline.stats
+        assert stats.light_fallback_pct < 40.0
+        assert stats.seedmap_fallback_pct < 20.0
+
+    def test_traffic_counted(self, pipeline, clean_pairs):
+        before = pipeline.stats.traffic_bytes
+        pipeline.map_pair(clean_pairs[4].read1.codes,
+                          clean_pairs[4].read2.codes, "t")
+        assert pipeline.stats.traffic_bytes > before
+
+
+class TestFullFallback:
+    def test_fallback_invoked_and_counted(self, plain_reference,
+                                          plain_seedmap):
+        calls = []
+
+        def fake_fallback(read1, read2, name):
+            calls.append(name)
+            from repro.genome import AlignmentRecord, Cigar
+            rec1 = AlignmentRecord(f"{name}/1", "chr1", 0,
+                                   cigar=Cigar.parse("150="), score=100,
+                                   mate=1)
+            rec2 = AlignmentRecord(f"{name}/2", "chr1", 300,
+                                   cigar=Cigar.parse("150="), score=100,
+                                   mate=2)
+            return rec1, rec2, 12345
+
+        pipeline = GenPairPipeline(plain_reference, seedmap=plain_seedmap,
+                                   full_fallback=fake_fallback)
+        rng = np.random.default_rng(6)
+        result = pipeline.map_pair(random_sequence(rng, 150),
+                                   random_sequence(rng, 150), "fb")
+        assert result.stage == STAGE_FULL_DP
+        assert calls == ["fb"]
+        assert pipeline.stats.dp_cells_full == 12345
+        assert pipeline.stats.unmapped == 0
+
+
+class TestConfig:
+    def test_small_delta_rejects_long_inserts(self, plain_reference,
+                                              plain_seedmap, clean_pairs):
+        tight = GenPairPipeline(
+            plain_reference, seedmap=plain_seedmap,
+            config=GenPairConfig(delta=10))
+        loose = GenPairPipeline(
+            plain_reference, seedmap=plain_seedmap,
+            config=GenPairConfig(delta=500))
+        pair = clean_pairs[5]
+        assert loose.map_pair(pair.read1.codes, pair.read2.codes,
+                              "x").mapped
+        result = tight.map_pair(pair.read1.codes, pair.read2.codes, "x")
+        assert result.stage in (STAGE_UNMAPPED, STAGE_FULL_DP)
+
+    def test_map_pairs_accepts_tuples(self, pipeline, clean_pairs):
+        pair = clean_pairs[6]
+        results = pipeline.map_pairs([(pair.read1.codes, pair.read2.codes,
+                                       "tup")])
+        assert results[0].name == "tup"
+        assert results[0].mapped

@@ -1,0 +1,58 @@
+"""Tests for SeedMap Query."""
+
+import numpy as np
+
+from repro.core import partition_read, query_pair, query_read
+from repro.core.seedmap import LOCATION_ENTRY_BYTES, SEED_TABLE_ENTRY_BYTES
+
+
+class TestQueryRead:
+    def test_candidates_are_implied_read_starts(self, plain_reference,
+                                                plain_seedmap):
+        pos = 2000
+        codes = plain_reference.fetch("chr1", pos, pos + 150)
+        seeds = partition_read(codes, 50)
+        result = query_read(plain_seedmap, seeds)
+        # All three seeds hit, and all agree on read start == pos.
+        assert result.seed_hits == 3
+        assert pos in result.candidates.tolist()
+
+    def test_candidates_sorted_unique(self, small_reference, seedmap):
+        codes = small_reference.fetch("chr1", 5000, 5150)
+        result = query_read(seedmap, partition_read(codes, 50))
+        candidates = result.candidates
+        assert np.all(np.diff(candidates) > 0)
+
+    def test_no_hits_for_foreign_read(self, plain_seedmap):
+        from repro.genome import random_sequence
+        codes = random_sequence(np.random.default_rng(99), 150)
+        result = query_read(plain_seedmap, partition_read(codes, 50))
+        # A random 150-mer's three 50bp seeds almost surely miss.
+        assert result.seed_hits == 0
+        assert result.candidates.size == 0
+
+    def test_traffic_accounting(self, plain_reference, plain_seedmap):
+        codes = plain_reference.fetch("chr1", 777, 927)
+        seeds = partition_read(codes, 50)
+        result = query_read(plain_seedmap, seeds)
+        assert result.seed_table_accesses == 3
+        assert result.locations_fetched >= 3
+        expected = (3 * SEED_TABLE_ENTRY_BYTES
+                    + result.locations_fetched * LOCATION_ENTRY_BYTES)
+        assert result.traffic_bytes == expected
+
+    def test_empty_seed_list(self, plain_seedmap):
+        result = query_read(plain_seedmap, [])
+        assert result.candidates.size == 0
+        assert result.seed_table_accesses == 0
+
+
+class TestQueryPair:
+    def test_both_reads_queried(self, plain_reference, plain_seedmap):
+        codes1 = plain_reference.fetch("chr1", 1000, 1150)
+        codes2 = plain_reference.fetch("chr1", 1200, 1350)
+        result1, result2 = query_pair(plain_seedmap,
+                                      partition_read(codes1, 50),
+                                      partition_read(codes2, 50))
+        assert 1000 in result1.candidates.tolist()
+        assert 1200 in result2.candidates.tolist()

@@ -1,0 +1,78 @@
+"""Tests for Partitioned Seeding."""
+
+import numpy as np
+import pytest
+
+from repro.core import partition_pair, partition_read
+from repro.genome import decode, random_sequence, reverse_complement
+from repro.hashing import hash_seed
+
+
+class TestPartitionRead:
+    def test_150bp_tiles_exactly(self):
+        codes = random_sequence(np.random.default_rng(0), 150)
+        seeds = partition_read(codes, 50)
+        assert [s.read_offset for s in seeds] == [0, 50, 100]
+        for seed in seeds:
+            assert len(seed.codes) == 50
+            assert np.array_equal(
+                seed.codes, codes[seed.read_offset:seed.read_offset + 50])
+
+    def test_hashes_match_hash_seed(self):
+        codes = random_sequence(np.random.default_rng(1), 150)
+        for seed in partition_read(codes, 50):
+            assert seed.hash_value == hash_seed(seed.codes)
+
+    def test_non_tiling_length_spreads_seeds(self):
+        codes = random_sequence(np.random.default_rng(2), 200)
+        seeds = partition_read(codes, 50)
+        assert [s.read_offset for s in seeds] == [0, 75, 150]
+
+    def test_short_read_fewer_seeds(self):
+        codes = random_sequence(np.random.default_rng(3), 120)
+        seeds = partition_read(codes, 50)
+        assert len(seeds) == 2
+        assert seeds[0].read_offset == 0
+        assert seeds[-1].read_offset == 70  # last 50bp window
+
+    def test_read_shorter_than_seed(self):
+        assert partition_read(random_sequence(
+            np.random.default_rng(4), 30), 50) == []
+
+    def test_invalid_seed_length(self):
+        with pytest.raises(ValueError):
+            partition_read(random_sequence(np.random.default_rng(5), 100),
+                           0)
+
+
+class TestPartitionPair:
+    def test_two_orientations(self):
+        rng = np.random.default_rng(6)
+        read1 = random_sequence(rng, 150)
+        read2 = random_sequence(rng, 150)
+        orientations = partition_pair(read1, read2)
+        assert [o.orientation for o in orientations] == ["fr", "rf"]
+
+    def test_fr_uses_read2_revcomp(self):
+        rng = np.random.default_rng(7)
+        read1 = random_sequence(rng, 150)
+        read2 = random_sequence(rng, 150)
+        fr = partition_pair(read1, read2)[0]
+        rc2 = reverse_complement(read2)
+        assert decode(fr.read2[0].codes) == decode(rc2[:50])
+        assert decode(fr.read1[0].codes) == decode(read1[:50])
+
+    def test_rf_swaps_roles(self):
+        rng = np.random.default_rng(8)
+        read1 = random_sequence(rng, 150)
+        read2 = random_sequence(rng, 150)
+        rf = partition_pair(read1, read2)[1]
+        rc1 = reverse_complement(read1)
+        assert decode(rf.read1[0].codes) == decode(read2[:50])
+        assert decode(rf.read2[0].codes) == decode(rc1[:50])
+
+    def test_six_seeds_per_orientation(self):
+        rng = np.random.default_rng(9)
+        fr = partition_pair(random_sequence(rng, 150),
+                            random_sequence(rng, 150))[0]
+        assert len(fr.read1) + len(fr.read2) == 6

@@ -1,0 +1,185 @@
+"""Tests for the pre-alignment filter baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import LightAligner, partition_read
+from repro.filters import (FilteredLightAligner, adjacency_filter,
+                           exact_match_at, gatekeeper_filter,
+                           pair_exact_match, shd_filter)
+from repro.genome import random_sequence, reverse_complement
+
+
+def make_window(rng, template, pad=8):
+    return np.concatenate([random_sequence(rng, pad), template,
+                           random_sequence(rng, pad)]), pad
+
+
+class TestShd:
+    def setup_method(self):
+        self.rng = np.random.default_rng(5)
+
+    def test_exact_passes(self):
+        template = random_sequence(self.rng, 100)
+        window, offset = make_window(self.rng, template)
+        result = shd_filter(template, window, offset)
+        assert result.passed
+        assert result.estimated_edits == 0
+        assert result.masks_computed == 11  # 2e+1 with e=5
+
+    def test_few_edits_pass(self):
+        template = random_sequence(self.rng, 100)
+        read = template.copy()
+        read[50] = (read[50] + 1) % 4
+        window, offset = make_window(self.rng, template)
+        assert shd_filter(read, window, offset).passed
+
+    def test_deletion_passes(self):
+        template = random_sequence(self.rng, 104)
+        read = np.concatenate([template[:40], template[43:]])[:100]
+        window, offset = make_window(self.rng, template)
+        assert shd_filter(read, window, offset).passed
+
+    def test_garbage_rejected(self):
+        read = random_sequence(self.rng, 100)
+        window = random_sequence(self.rng, 120)
+        assert not shd_filter(read, window, 8).passed
+
+    def test_no_false_negatives_vs_light(self):
+        """Anything Light Alignment can align must pass SHD."""
+        rng = np.random.default_rng(6)
+        light = LightAligner()
+        for trial in range(40):
+            template = random_sequence(rng, 108)
+            kind = trial % 3
+            read = template[:100].copy()
+            if kind == 1:
+                cut = int(rng.integers(20, 80))
+                run = int(rng.integers(1, 6))
+                read = np.concatenate([template[:cut],
+                                       template[cut + run:]])[:100]
+            elif kind == 2:
+                for _ in range(int(rng.integers(1, 3))):
+                    pos = int(rng.integers(0, 100))
+                    read[pos] = (read[pos] + 1) % 4
+            window, offset = make_window(rng, template)
+            hit = light.align(read, window, offset)
+            if hit is not None:
+                assert shd_filter(read, window, offset).passed
+
+    def test_empty_read_rejected(self):
+        assert not shd_filter(np.zeros(0, dtype=np.uint8),
+                              random_sequence(self.rng, 20), 5).passed
+
+
+class TestGateKeeper:
+    def test_exact_passes(self):
+        rng = np.random.default_rng(7)
+        template = random_sequence(rng, 100)
+        window, offset = make_window(rng, template)
+        assert gatekeeper_filter(template, window, offset).passed
+
+    def test_weaker_than_shd(self):
+        """GateKeeper (no amendment) lets through at least as much."""
+        rng = np.random.default_rng(8)
+        gk_pass = shd_pass = 0
+        for _ in range(60):
+            read = random_sequence(rng, 100)
+            window = random_sequence(rng, 120)
+            if gatekeeper_filter(read, window, 8).passed:
+                gk_pass += 1
+            if shd_filter(read, window, 8).passed:
+                shd_pass += 1
+        assert gk_pass >= shd_pass
+
+
+class TestAdjacency:
+    def test_true_locus_supported(self, plain_reference, plain_seedmap):
+        codes = plain_reference.fetch("chr1", 4000, 4150)
+        seeds = partition_read(codes, 50)
+        result = adjacency_filter(plain_seedmap, seeds, min_support=2)
+        assert result.passed
+        assert any(abs(c - 4000) <= 5 for c in result.candidates)
+        assert max(result.support) == 3  # all three seeds agree
+
+    def test_random_read_unsupported(self, plain_seedmap):
+        codes = random_sequence(np.random.default_rng(9), 150)
+        seeds = partition_read(codes, 50)
+        assert not adjacency_filter(plain_seedmap, seeds).passed
+
+    def test_single_seed_insufficient(self, plain_reference,
+                                      plain_seedmap):
+        codes = plain_reference.fetch("chr1", 5000, 5150).copy()
+        # Corrupt the middle and last seeds; only the first survives.
+        codes[60] = (codes[60] + 1) % 4
+        codes[110] = (codes[110] + 1) % 4
+        seeds = partition_read(codes, 50)
+        result = adjacency_filter(plain_seedmap, seeds, min_support=2)
+        assert not any(abs(c - 5000) <= 5 for c in result.candidates)
+
+
+class TestExactFilter:
+    def test_match_found_with_slack(self, plain_reference):
+        codes = plain_reference.fetch("chr1", 7000, 7150)
+        verdict = exact_match_at(plain_reference, codes, "chr1", 7004)
+        assert verdict.matched
+        assert verdict.position == 7000
+
+    def test_mismatch_fails(self, plain_reference):
+        codes = plain_reference.fetch("chr1", 7000, 7150).copy()
+        codes[75] = (codes[75] + 1) % 4
+        assert not exact_match_at(plain_reference, codes, "chr1",
+                                  7000).matched
+
+    def test_pair_requires_both(self, plain_reference, clean_pairs):
+        pair = clean_pairs[0]
+        assert pair_exact_match(plain_reference, pair.read1.codes,
+                                pair.read2.codes, pair.chromosome,
+                                pair.read1.ref_start,
+                                pair.read2.ref_start)
+        broken = pair.read2.codes.copy()
+        broken[10] = (broken[10] + 1) % 4
+        assert not pair_exact_match(plain_reference, pair.read1.codes,
+                                    broken, pair.chromosome,
+                                    pair.read1.ref_start,
+                                    pair.read2.ref_start)
+
+
+class TestFilteredLightAligner:
+    def test_same_answers_as_unfiltered(self):
+        rng = np.random.default_rng(10)
+        combo = FilteredLightAligner()
+        plain = LightAligner()
+        for trial in range(30):
+            template = random_sequence(rng, 108)
+            read = template[:100].copy()
+            if trial % 2:
+                pos = int(rng.integers(0, 100))
+                read[pos] = (read[pos] + 1) % 4
+            window, offset = make_window(rng, template)
+            filtered = combo.align(read, window, offset)
+            unfiltered = plain.align(read, window, offset)
+            if unfiltered is None:
+                assert filtered is None
+            else:
+                assert filtered is not None
+                assert filtered.score == unfiltered.score
+
+    def test_filter_saves_attempts_on_garbage(self):
+        rng = np.random.default_rng(11)
+        combo = FilteredLightAligner()
+        for _ in range(20):
+            read = random_sequence(rng, 100)
+            window = random_sequence(rng, 120)
+            combo.align(read, window, 8)
+        assert combo.stats.rejection_rate > 0.9
+        assert combo.stats.light_attempts < 3
+
+    def test_validation_helper(self):
+        rng = np.random.default_rng(12)
+        combo = FilteredLightAligner()
+        template = random_sequence(rng, 100)
+        window, offset = make_window(rng, template)
+        assert combo.validate_against_unfiltered(template, window,
+                                                 offset)
+        assert combo.stats.false_rejections == 0

@@ -1,0 +1,72 @@
+"""Unit tests for FASTA/FASTQ I/O."""
+
+import numpy as np
+import pytest
+
+from repro.genome import (decode, encode, generate_reference, read_fasta,
+                          read_fastq, write_fasta, write_fastq)
+from repro.genome.io_fasta import FastaError
+
+
+class TestFasta:
+    def test_round_trip(self, tmp_path):
+        genome = generate_reference(np.random.default_rng(0), (500, 300),
+                                    repeats=None)
+        path = tmp_path / "ref.fa"
+        write_fasta(path, genome, line_width=60)
+        loaded = read_fasta(path)
+        assert loaded.names == genome.names
+        for name in genome.names:
+            assert np.array_equal(
+                loaded.fetch(name, 0, loaded.length(name)),
+                genome.fetch(name, 0, genome.length(name)))
+
+    def test_header_truncated_at_whitespace(self, tmp_path):
+        path = tmp_path / "x.fa"
+        path.write_text(">chr1 description here\nACGT\n")
+        genome = read_fasta(path)
+        assert genome.names == ("chr1",)
+
+    def test_multiline_sequences_joined(self, tmp_path):
+        path = tmp_path / "x.fa"
+        path.write_text(">s\nACGT\nACGT\n")
+        assert read_fasta(path).sequence("s") == "ACGTACGT"
+
+    def test_data_before_header_rejected(self, tmp_path):
+        path = tmp_path / "x.fa"
+        path.write_text("ACGT\n>s\nACGT\n")
+        with pytest.raises(FastaError):
+            read_fasta(path)
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        path = tmp_path / "x.fa"
+        path.write_text(">s\nAC\n>s\nGT\n")
+        with pytest.raises(FastaError):
+            read_fasta(path)
+
+    def test_n_preserved(self, tmp_path):
+        path = tmp_path / "x.fa"
+        path.write_text(">s\nACNNGT\n")
+        assert read_fasta(path).sequence("s") == "ACNNGT"
+
+
+class TestFastq:
+    def test_round_trip(self, tmp_path):
+        records = [("r1", encode("ACGTACGT")), ("r2", encode("TTTTAAAA"))]
+        path = tmp_path / "reads.fq"
+        assert write_fastq(path, records) == 2
+        loaded = list(read_fastq(path))
+        assert [name for name, _ in loaded] == ["r1", "r2"]
+        assert decode(loaded[0][1]) == "ACGTACGT"
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "reads.fq"
+        path.write_text("r1\nACGT\n+\nIIII\n")
+        with pytest.raises(FastaError):
+            list(read_fastq(path))
+
+    def test_quality_length_checked(self, tmp_path):
+        path = tmp_path / "reads.fq"
+        path.write_text("@r1\nACGT\n+\nII\n")
+        with pytest.raises(FastaError):
+            list(read_fastq(path))

@@ -1,0 +1,119 @@
+"""Unit tests for repro.genome.reference."""
+
+import numpy as np
+import pytest
+
+from repro.genome.reference import (ReferenceError, ReferenceGenome,
+                                    RepeatProfile, generate_reference)
+from repro.genome.sequence import encode
+
+
+def make_genome():
+    return ReferenceGenome({"chrA": encode("ACGTACGTAC"),
+                            "chrB": encode("TTTTT")})
+
+
+class TestReferenceGenome:
+    def test_names_and_lengths(self):
+        genome = make_genome()
+        assert genome.names == ("chrA", "chrB")
+        assert genome.length("chrA") == 10
+        assert genome.total_length == 15
+
+    def test_unknown_chromosome(self):
+        with pytest.raises(ReferenceError):
+            make_genome().length("chrZ")
+
+    def test_linear_round_trip(self):
+        genome = make_genome()
+        for name in genome.names:
+            for pos in (0, 3, genome.length(name) - 1):
+                linear = genome.to_linear(name, pos)
+                assert genome.from_linear(linear) == (name, pos)
+
+    def test_linear_offsets_disjoint(self):
+        genome = make_genome()
+        assert genome.linear_offset("chrA") == 0
+        assert genome.linear_offset("chrB") == 10
+
+    def test_linear_out_of_range(self):
+        genome = make_genome()
+        with pytest.raises(ReferenceError):
+            genome.from_linear(15)
+        with pytest.raises(ReferenceError):
+            genome.from_linear(-1)
+
+    def test_fetch_window(self):
+        genome = make_genome()
+        window = genome.fetch("chrA", 2, 6)
+        assert window.tolist() == encode("GTAC").tolist()
+
+    def test_fetch_bounds_checked(self):
+        genome = make_genome()
+        with pytest.raises(ReferenceError):
+            genome.fetch("chrA", 5, 11)
+        with pytest.raises(ReferenceError):
+            genome.fetch("chrA", -1, 3)
+
+    def test_fetch_linear_cross_chromosome_rejected(self):
+        genome = make_genome()
+        with pytest.raises(ReferenceError):
+            genome.fetch_linear(8, 12)
+
+    def test_iter_windows(self):
+        genome = make_genome()
+        tiles = list(genome.iter_windows(5, 5))
+        assert [(name, start) for name, start, _ in tiles] == \
+            [("chrA", 0), ("chrA", 5), ("chrB", 0)]
+
+    def test_sequence(self):
+        assert make_genome().sequence("chrB") == "TTTTT"
+
+
+class TestGeneration:
+    def test_lengths_respected(self):
+        genome = generate_reference(np.random.default_rng(0),
+                                    (5000, 3000), repeats=None)
+        assert genome.length("chr1") == 5000
+        assert genome.length("chr2") == 3000
+
+    def test_deterministic_given_seed(self):
+        a = generate_reference(np.random.default_rng(5), (2000,))
+        b = generate_reference(np.random.default_rng(5), (2000,))
+        assert np.array_equal(a.fetch("chr1", 0, 2000),
+                              b.fetch("chr1", 0, 2000))
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ReferenceError):
+            generate_reference(np.random.default_rng(0), (0,))
+
+    def test_repeats_raise_duplicate_seed_rate(self):
+        rng1 = np.random.default_rng(9)
+        rng2 = np.random.default_rng(9)
+        plain = generate_reference(rng1, (60_000,), repeats=None)
+        repeated = generate_reference(rng2, (60_000,),
+                                      repeats=RepeatProfile.human_like())
+
+        def duplicate_fraction(genome):
+            from repro.hashing import hash_reference_windows
+            hashes = hash_reference_windows(
+                genome.fetch("chr1", 0, genome.length("chr1")), 50)
+            _, counts = np.unique(hashes, return_counts=True)
+            return (counts > 1).sum() / len(counts)
+
+        assert duplicate_fraction(repeated) > \
+            duplicate_fraction(plain) * 5
+
+    def test_human_like_profile_mean_multiplicity(self):
+        genome = generate_reference(np.random.default_rng(3), (150_000,),
+                                    repeats=RepeatProfile.human_like())
+        from repro.core import SeedMap
+        seedmap = SeedMap.build(genome)
+        # Per-position multiplicity (what a random error-free read seed
+        # sees) should land in the high-single-digit range (Obs 2 ~9.6).
+        total = seedmap.stats.stored_locations
+        weighted = 0
+        for span in seedmap._ranges.values():
+            size = span[1] - span[0]
+            weighted += size * size
+        assert 4.0 < weighted / total < 25.0

@@ -1,0 +1,60 @@
+"""Unit tests for SAM-like records."""
+
+import numpy as np
+
+from repro.genome import AlignmentRecord, Cigar, encode, write_sam
+from repro.genome.sam import METHOD_LIGHT
+
+
+class TestAlignmentRecord:
+    def test_reference_end(self):
+        record = AlignmentRecord("r", "chr1", 100,
+                                 cigar=Cigar.parse("50=2D100="))
+        assert record.reference_end == 100 + 152
+
+    def test_overlaps(self):
+        record = AlignmentRecord("r", "chr1", 100,
+                                 cigar=Cigar.parse("150="))
+        assert record.overlaps("chr1", 200, 300)
+        assert not record.overlaps("chr1", 250, 300)
+        assert not record.overlaps("chr2", 100, 300)
+
+    def test_unmapped_never_overlaps(self):
+        record = AlignmentRecord("r", mapped=False)
+        assert not record.overlaps("chr1", 0, 10**9)
+
+    def test_sam_line_mapped(self):
+        record = AlignmentRecord("r1", "chr1", 9, strand="-", mapq=60,
+                                 cigar=Cigar.parse("4="), score=8,
+                                 read_codes=encode("ACGT"), mate=1,
+                                 method=METHOD_LIGHT)
+        fields = record.to_sam_line().split("\t")
+        assert fields[0] == "r1"
+        assert int(fields[1]) & 16  # reverse strand
+        assert int(fields[1]) & 64  # first in pair
+        assert fields[2] == "chr1"
+        assert fields[3] == "10"  # 1-based
+        assert fields[5] == "4="
+        assert fields[9] == "ACGT"
+        assert "XM:Z:light" in fields
+
+    def test_sam_line_unmapped(self):
+        fields = AlignmentRecord("r2", mapped=False).to_sam_line().split(
+            "\t")
+        assert int(fields[1]) & 4
+        assert fields[2] == "*"
+        assert fields[5] == "*"
+
+
+class TestWriteSam:
+    def test_header_and_count(self, tmp_path, plain_reference):
+        records = [AlignmentRecord("a", "chr1", 0,
+                                   cigar=Cigar.parse("10=")),
+                   AlignmentRecord("b", mapped=False)]
+        path = tmp_path / "out.sam"
+        count = write_sam(path, records, reference=plain_reference)
+        assert count == 2
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("@HD")
+        assert any(line.startswith("@SQ\tSN:chr1") for line in lines)
+        assert len([l for l in lines if not l.startswith("@")]) == 2

@@ -1,0 +1,134 @@
+"""Unit tests for repro.genome.sequence."""
+
+import numpy as np
+import pytest
+
+from repro.genome.sequence import (ALPHABET_SIZE, N_CODE, SequenceError,
+                                   complement, decode, encode,
+                                   hamming_distance, kmer_to_int, kmers,
+                                   pack_2bit, random_sequence,
+                                   reverse_complement,
+                                   reverse_complement_str, unpack_2bit)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        assert decode(encode("ACGT")) == "ACGT"
+
+    def test_lowercase_accepted(self):
+        assert decode(encode("acgt")) == "ACGT"
+
+    def test_codes_are_canonical(self):
+        assert encode("ACGT").tolist() == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert encode("").size == 0
+        assert decode(np.zeros(0, dtype=np.uint8)) == ""
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(SequenceError):
+            encode("ACGU")
+
+    def test_n_rejected_by_default(self):
+        with pytest.raises(SequenceError):
+            encode("ACGN")
+
+    def test_n_allowed_when_requested(self):
+        assert encode("ACGN", allow_n=True).tolist() == [0, 1, 2, N_CODE]
+
+    def test_existing_array_passthrough(self):
+        arr = np.array([0, 1, 2], dtype=np.uint8)
+        assert encode(arr) is not None
+        assert encode(arr).tolist() == [0, 1, 2]
+
+    def test_array_with_bad_code_rejected(self):
+        with pytest.raises(SequenceError):
+            encode(np.array([0, 9], dtype=np.uint8))
+
+    def test_decode_rejects_bad_codes(self):
+        with pytest.raises(SequenceError):
+            decode(np.array([7], dtype=np.uint8))
+
+
+class TestComplement:
+    def test_complement_pairs(self):
+        assert decode(complement(encode("ACGT"))) == "TGCA"
+
+    def test_reverse_complement(self):
+        assert decode(reverse_complement(encode("AACGTT"))) == "AACGTT"
+        assert decode(reverse_complement(encode("AAAC"))) == "GTTT"
+
+    def test_reverse_complement_str(self):
+        assert reverse_complement_str("GATTACA") == "TGTAATC"
+
+    def test_revcomp_is_involution(self):
+        rng = np.random.default_rng(0)
+        seq = random_sequence(rng, 333)
+        assert np.array_equal(reverse_complement(reverse_complement(seq)),
+                              seq)
+
+    def test_n_preserved(self):
+        codes = encode("ANT", allow_n=True)
+        assert decode(reverse_complement(codes)) == "ANT"
+
+
+class TestPacking:
+    def test_round_trip(self):
+        rng = np.random.default_rng(1)
+        for length in (0, 1, 3, 4, 5, 50, 150):
+            seq = random_sequence(rng, length)
+            assert np.array_equal(unpack_2bit(pack_2bit(seq), length), seq)
+
+    def test_packed_density(self):
+        seq = random_sequence(np.random.default_rng(2), 150)
+        assert len(pack_2bit(seq)) == 38  # ceil(150/4)
+
+    def test_pack_rejects_n(self):
+        with pytest.raises(SequenceError):
+            pack_2bit(encode("AN", allow_n=True))
+
+    def test_unpack_short_buffer_rejected(self):
+        with pytest.raises(SequenceError):
+            unpack_2bit(b"\x00", 5)
+
+
+class TestKmers:
+    def test_kmer_windows(self):
+        codes = encode("ACGTA")
+        windows = list(kmers(codes, 3))
+        assert len(windows) == 3
+        assert decode(windows[0]) == "ACG"
+        assert decode(windows[-1]) == "GTA"
+
+    def test_kmer_to_int_distinct(self):
+        values = {kmer_to_int(encode(s))
+                  for s in ("AAA", "AAC", "CAA", "TTT")}
+        assert len(values) == 4
+
+    def test_kmer_invalid_k(self):
+        with pytest.raises(SequenceError):
+            list(kmers(encode("ACGT"), 0))
+
+
+class TestHamming:
+    def test_zero_on_equal(self):
+        seq = encode("ACGTACGT")
+        assert hamming_distance(seq, seq.copy()) == 0
+
+    def test_counts_mismatches(self):
+        assert hamming_distance(encode("AAAA"), encode("AATA")) == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SequenceError):
+            hamming_distance(encode("AA"), encode("AAA"))
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self):
+        seq = random_sequence(np.random.default_rng(3), 1000)
+        assert len(seq) == 1000
+        assert seq.max() < ALPHABET_SIZE
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(SequenceError):
+            random_sequence(np.random.default_rng(4), -1)

@@ -1,0 +1,137 @@
+"""Unit tests for the read simulator."""
+
+import numpy as np
+import pytest
+
+from repro.genome import (ErrorModel, PairedEndProfile, ReadSimulator,
+                          SimulationError, generate_reference,
+                          reverse_complement)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return generate_reference(np.random.default_rng(21), (60_000,),
+                              repeats=None)
+
+
+class TestErrorModel:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(SimulationError):
+            ErrorModel(substitution_fraction=0.5, insertion_fraction=0.5,
+                       deletion_fraction=0.5)
+
+    def test_rate_bounds(self):
+        with pytest.raises(SimulationError):
+            ErrorModel(mean_rate=0.7)
+
+    def test_perfect_draws_zero(self):
+        model = ErrorModel.perfect()
+        assert model.draw_fragment_rate(np.random.default_rng(0)) == 0.0
+
+    def test_overdispersed_rates_vary(self):
+        model = ErrorModel.giab_like()
+        rng = np.random.default_rng(1)
+        rates = [model.draw_fragment_rate(rng) for _ in range(500)]
+        assert min(rates) < model.mean_rate / 4
+        assert max(rates) > model.mean_rate * 2
+        assert abs(np.mean(rates) - model.mean_rate) < 0.002
+
+    def test_uniform_model_constant_rate(self):
+        model = ErrorModel.mason_default(0.01)
+        rng = np.random.default_rng(2)
+        assert {model.draw_fragment_rate(rng) for _ in range(10)} == {0.01}
+
+
+class TestPairSimulation:
+    def test_geometry(self, reference):
+        sim = ReadSimulator(reference, error_model=ErrorModel.perfect(),
+                            seed=3)
+        pairs = sim.simulate_pairs(40)
+        assert len(pairs) == 40
+        for pair in pairs:
+            assert len(pair.read1.codes) == 150
+            assert len(pair.read2.codes) == 150
+            assert pair.read1.strand == "+"
+            assert pair.read2.strand == "-"
+            assert pair.insert_size >= 300
+            assert pair.read1.ref_start < pair.read2.ref_start \
+                + len(pair.read2.codes)
+
+    def test_perfect_reads_match_reference(self, reference):
+        sim = ReadSimulator(reference, error_model=ErrorModel.perfect(),
+                            seed=4)
+        for pair in sim.simulate_pairs(20):
+            window1 = reference.fetch(pair.read1.chromosome,
+                                      pair.read1.ref_start,
+                                      pair.read1.ref_start + 150)
+            assert np.array_equal(window1, pair.read1.codes)
+            window2 = reference.fetch(pair.read2.chromosome,
+                                      pair.read2.ref_start,
+                                      pair.read2.ref_start + 150)
+            assert np.array_equal(window2,
+                                  reverse_complement(pair.read2.codes))
+
+    def test_names_are_mated(self, reference):
+        sim = ReadSimulator(reference, seed=5)
+        pair = sim.simulate_pairs(1, name_prefix="x")[0]
+        assert pair.read1.name == "x0/1"
+        assert pair.read2.name == "x0/2"
+        assert pair.name == "x0"
+
+    def test_errors_perturb_reads(self, reference):
+        sim = ReadSimulator(reference,
+                            error_model=ErrorModel.mason_default(0.05),
+                            seed=6)
+        diffs = 0
+        for pair in sim.simulate_pairs(20):
+            window = reference.fetch(pair.read1.chromosome,
+                                     pair.read1.ref_start,
+                                     pair.read1.ref_start + 150)
+            diffs += int((window != pair.read1.codes).sum())
+        assert diffs > 50  # ~5% of 3000 bases, edits shift things further
+
+    def test_insert_size_model_enforced(self):
+        with pytest.raises(SimulationError):
+            PairedEndProfile(read_length=150, insert_mean=200.0)
+
+    def test_deterministic_given_seed(self, reference):
+        a = ReadSimulator(reference, seed=7).simulate_pairs(5)
+        b = ReadSimulator(reference, seed=7).simulate_pairs(5)
+        for pa, pb in zip(a, b):
+            assert np.array_equal(pa.read1.codes, pb.read1.codes)
+            assert pa.fragment_start == pb.fragment_start
+
+
+class TestSingleAndLong:
+    def test_single_end(self, reference):
+        sim = ReadSimulator(reference, error_model=ErrorModel.perfect(),
+                            seed=8)
+        reads = sim.simulate_single(10)
+        assert len(reads) == 10
+        for read in reads:
+            assert read.mate == 0
+            window = reference.fetch(read.chromosome, read.ref_start,
+                                     read.ref_start + 150)
+            assert np.array_equal(window, read.codes)
+
+    def test_long_reads(self, reference):
+        sim = ReadSimulator(reference, seed=9)
+        reads = sim.simulate_long_reads(3, length_mean=3000,
+                                        length_sd=300, error_rate=0.005)
+        for read in reads:
+            assert len(read.codes) >= 500
+            assert read.ref_end > read.ref_start
+
+    def test_donor_truth_maps_to_reference(self, reference):
+        from repro.genome import plant_variants
+        donor = plant_variants(np.random.default_rng(10), reference)
+        sim = ReadSimulator(reference, donor=donor,
+                            error_model=ErrorModel.perfect(), seed=11)
+        for pair in sim.simulate_pairs(20):
+            window = reference.fetch(pair.read1.chromosome,
+                                     pair.read1.ref_start,
+                                     pair.read1.ref_start + 150)
+            # Donor reads differ from the reference only at planted
+            # variants: expect near-identity at the truth locus.
+            mismatches = int((window != pair.read1.codes).sum())
+            assert mismatches <= 12

@@ -1,0 +1,68 @@
+"""Additional design-composition edge cases."""
+
+import pytest
+
+from repro.hw import (GDDR6, GenPairXDesign, NMSLConfig, NMSLSimulator,
+                      WorkloadProfile, host_bandwidth,
+                      synthetic_location_counts)
+
+
+class TestComposeVariants:
+    def test_unbounded_window_composes(self):
+        design = GenPairXDesign(WorkloadProfile.paper(), window_size=None,
+                                simulated_pairs=2000).compose()
+        # Unbounded window: buffer sized to the whole run (documented
+        # behaviour of the "No Window" configuration).
+        assert design.centralized_buffer.size_mb > 20
+
+    def test_small_window_underutilizes(self):
+        small = GenPairXDesign(WorkloadProfile.paper(), window_size=2,
+                               simulated_pairs=2000).compose()
+        full = GenPairXDesign(WorkloadProfile.paper(), window_size=1024,
+                              simulated_pairs=2000).compose()
+        assert small.target_mpairs < full.target_mpairs / 2
+        # Fewer light-align instances needed at the lower rate.
+        assert small.modules[2].instances < full.modules[2].instances
+
+    def test_gddr6_design(self):
+        design = GenPairXDesign(WorkloadProfile.paper(), memory=GDDR6,
+                                simulated_pairs=2000).compose()
+        assert 10 < design.target_mpairs < 40
+
+    def test_host_bandwidth_tracks_design(self):
+        design = GenPairXDesign(WorkloadProfile.paper(),
+                                simulated_pairs=2000).compose()
+        report = host_bandwidth(design.target_mpairs,
+                                design.workload.read_length)
+        assert report.input_gbps > report.output_gbps
+
+    def test_longer_reads_scale_throughput(self):
+        profile_250 = WorkloadProfile(read_length=250)
+        design = GenPairXDesign(profile_250,
+                                simulated_pairs=2000).compose()
+        assert design.throughput_mbps == pytest.approx(
+            design.target_mpairs * 500, rel=1e-6)
+        # Longer reads -> more cycles per light alignment -> more
+        # instances at the same pair rate.
+        baseline = GenPairXDesign(WorkloadProfile.paper(),
+                                  simulated_pairs=2000).compose()
+        assert design.modules[2].instances > \
+            baseline.modules[2].instances * 1.2
+
+
+class TestWorkloadClamping:
+    def test_low_location_mean_clamped(self):
+        import numpy as np
+        counts = synthetic_location_counts(np.random.default_rng(1),
+                                           1000, mean=1.0)
+        assert counts.min() >= 1
+        report = NMSLSimulator(NMSLConfig()).simulate(counts)
+        assert report.throughput_mpairs_per_s > 0
+
+    def test_zero_stats_profile(self):
+        from repro.core import PipelineStats
+        profile = WorkloadProfile.from_pipeline(PipelineStats())
+        assert profile.mean_filter_iterations >= 1.0
+        assert profile.mean_light_alignments >= 1.0
+        design = GenPairXDesign(profile, simulated_pairs=1000).compose()
+        assert design.total_cost.area_mm2 > 60

@@ -1,0 +1,44 @@
+"""Tests for the minimizer index."""
+
+import numpy as np
+import pytest
+
+from repro.genome import ReferenceGenome, random_sequence
+from repro.mapper import MinimizerIndex, extract_minimizers
+
+
+@pytest.fixture(scope="module")
+def index(plain_reference):
+    return MinimizerIndex.build(plain_reference, k=15, w=10)
+
+
+class TestMinimizerIndex:
+    def test_lookup_finds_reference_minimizers(self, plain_reference,
+                                               index):
+        codes = plain_reference.fetch("chr1", 3000, 3300)
+        found = 0
+        for minimizer in extract_minimizers(codes, 15, 10):
+            positions = index.lookup(minimizer.hash_value)
+            if (3000 + minimizer.position) in positions.tolist():
+                found += 1
+        assert found >= 10
+
+    def test_positions_sorted(self, index):
+        for hash_value in list(index._table)[:100]:
+            positions = index.lookup(hash_value)
+            assert np.all(np.diff(positions) >= 0)
+
+    def test_absent_hash(self, index):
+        assert index.lookup(2**40).size == 0
+
+    def test_stats(self, index):
+        assert index.stats.total_minimizers > 0
+        assert index.stats.distinct_hashes == len(index)
+
+    def test_occurrence_masking(self):
+        unit = random_sequence(np.random.default_rng(8), 200)
+        genome = ReferenceGenome({"rep": np.tile(unit, 30)})
+        open_index = MinimizerIndex.build(genome, max_occurrences=None)
+        masked = MinimizerIndex.build(genome, max_occurrences=5)
+        assert masked.stats.masked_hashes > 0
+        assert len(masked) < len(open_index)

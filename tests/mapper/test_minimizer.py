@@ -1,0 +1,58 @@
+"""Tests for minimizer extraction."""
+
+import numpy as np
+import pytest
+
+from repro.genome import random_sequence
+from repro.mapper import extract_minimizers
+
+
+class TestMinimizers:
+    def test_empty_and_short(self):
+        assert extract_minimizers(np.zeros(0, dtype=np.uint8)) == []
+        assert extract_minimizers(random_sequence(
+            np.random.default_rng(0), 10), k=15) == []
+
+    def test_density(self):
+        codes = random_sequence(np.random.default_rng(1), 10_000)
+        minimizers = extract_minimizers(codes, k=15, w=10)
+        # Expected density ~ 2/(w+1) of k-mer positions.
+        kmer_positions = len(codes) - 15 + 1
+        density = len(minimizers) / kmer_positions
+        assert 0.1 < density < 0.3
+
+    def test_positions_valid_and_increasing(self):
+        codes = random_sequence(np.random.default_rng(2), 2000)
+        minimizers = extract_minimizers(codes, k=15, w=10)
+        positions = [m.position for m in minimizers]
+        assert positions == sorted(positions)
+        assert all(0 <= p <= len(codes) - 15 for p in positions)
+
+    def test_window_guarantee(self):
+        """Every w consecutive k-mers must contain a minimizer."""
+        codes = random_sequence(np.random.default_rng(3), 1500)
+        k, w = 15, 10
+        minimizers = extract_minimizers(codes, k, w)
+        chosen = sorted(m.position for m in minimizers)
+        kmer_count = len(codes) - k + 1
+        for window_start in range(0, kmer_count - w + 1):
+            assert any(window_start <= p < window_start + w
+                       for p in chosen)
+
+    def test_shared_substring_shares_minimizers(self):
+        """Two sequences sharing a long substring share its minimizers."""
+        rng = np.random.default_rng(4)
+        shared = random_sequence(rng, 300)
+        seq_a = np.concatenate([random_sequence(rng, 100), shared])
+        seq_b = np.concatenate([random_sequence(rng, 57), shared])
+        hashes_a = {m.hash_value for m in extract_minimizers(seq_a)}
+        hashes_b = {m.hash_value for m in extract_minimizers(seq_b)}
+        overlap = len(hashes_a & hashes_b)
+        assert overlap >= 20
+
+    def test_invalid_params(self):
+        codes = random_sequence(np.random.default_rng(5), 100)
+        with pytest.raises(ValueError):
+            extract_minimizers(codes, k=0)
+        with pytest.raises(ValueError):
+            extract_minimizers(codes, k=15, w=0)

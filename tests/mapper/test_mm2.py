@@ -1,0 +1,106 @@
+"""Tests for the baseline seed-chain-align mapper."""
+
+import numpy as np
+import pytest
+
+from repro.genome import random_sequence, reverse_complement
+from repro.mapper import MapperConfig, MinimizerIndex, Mm2LikeMapper, \
+    make_full_fallback
+
+
+@pytest.fixture(scope="module")
+def mapper(plain_reference):
+    return Mm2LikeMapper(plain_reference)
+
+
+class TestSingleEnd:
+    def test_forward_read(self, plain_reference, mapper):
+        codes = plain_reference.fetch("chr1", 6000, 6150)
+        record = mapper.map_read(codes, "fwd")
+        assert record.mapped
+        assert record.chromosome == "chr1"
+        assert record.position == 6000
+        assert record.strand == "+"
+        assert record.score == 300
+
+    def test_reverse_read(self, plain_reference, mapper):
+        codes = reverse_complement(
+            plain_reference.fetch("chr1", 8000, 8150))
+        record = mapper.map_read(codes, "rev")
+        assert record.mapped
+        assert record.position == 8000
+        assert record.strand == "-"
+
+    def test_read_with_errors(self, plain_reference, mapper):
+        codes = plain_reference.fetch("chr1", 9000, 9150).copy()
+        for pos in (30, 80, 120):
+            codes[pos] = (codes[pos] + 1) % 4
+        record = mapper.map_read(codes, "errs")
+        assert record.mapped
+        assert record.position == 9000
+        assert record.score == 300 - 3 * 10
+
+    def test_garbage_unmapped(self, mapper):
+        record = mapper.map_read(
+            random_sequence(np.random.default_rng(31), 150), "junk")
+        assert not record.mapped
+
+    def test_cells_accounted(self, plain_reference):
+        fresh = Mm2LikeMapper(plain_reference)
+        fresh.map_read(plain_reference.fetch("chr1", 500, 650), "x")
+        assert fresh.stats.dp_cells_chaining >= 0
+        assert fresh.stats.dp_cells_alignment > 0
+
+
+class TestPairedEnd:
+    def test_proper_pair(self, plain_reference, mapper, clean_pairs):
+        pair = clean_pairs[0]
+        rec1, rec2, proper = mapper.map_pair(pair.read1.codes,
+                                             pair.read2.codes, pair.name)
+        assert proper
+        assert rec1.position == pair.read1.ref_start
+        assert rec2.position == pair.read2.ref_start
+        assert rec1.strand == "+"
+        assert rec2.strand == "-"
+
+    def test_mate_rescue(self, plain_reference, clean_pairs):
+        """Corrupt read2's seeds; rescue must still place it."""
+        mapper = Mm2LikeMapper(plain_reference)
+        pair = clean_pairs[1]
+        read2 = pair.read2.codes.copy()
+        for pos in range(0, 150, 11):  # break every minimizer
+            read2[pos] = (read2[pos] + 1) % 4
+        rec1, rec2, proper = mapper.map_pair(pair.read1.codes, read2,
+                                             "rescue")
+        assert proper
+        assert abs(rec2.position - pair.read2.ref_start) <= 5
+        assert mapper.stats.mate_rescues >= 1
+
+    def test_timer_populated(self, plain_reference, clean_pairs):
+        mapper = Mm2LikeMapper(plain_reference)
+        mapper.map_pair(clean_pairs[2].read1.codes,
+                        clean_pairs[2].read2.codes, "t")
+        seconds = mapper.timer.seconds
+        assert seconds["seeding"] > 0
+        assert seconds["chaining"] > 0
+        assert seconds["alignment"] > 0
+
+
+class TestFallbackAdapter:
+    def test_fallback_returns_records_and_cells(self, plain_reference,
+                                                clean_pairs):
+        mapper = Mm2LikeMapper(plain_reference)
+        fallback = make_full_fallback(mapper)
+        pair = clean_pairs[3]
+        outcome = fallback(pair.read1.codes, pair.read2.codes, "fb")
+        assert outcome is not None
+        rec1, rec2, cells = outcome
+        assert rec1.mapped and rec2.mapped
+        assert cells > 0
+
+    def test_fallback_none_for_garbage(self, plain_reference):
+        mapper = Mm2LikeMapper(plain_reference)
+        fallback = make_full_fallback(mapper)
+        rng = np.random.default_rng(33)
+        assert fallback(random_sequence(rng, 150),
+                        random_sequence(rng, 150), "junk") is None

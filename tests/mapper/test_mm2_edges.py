@@ -1,0 +1,76 @@
+"""Edge-case tests for the baseline mapper."""
+
+import numpy as np
+import pytest
+
+from repro.genome import ReferenceGenome, random_sequence, \
+    reverse_complement
+from repro.mapper import MapperConfig, MinimizerIndex, Mm2LikeMapper
+
+
+class TestAmbiguity:
+    def test_duplicated_locus_low_mapq(self):
+        """A read from an exactly duplicated region cannot be placed
+        uniquely: mapq must reflect the ambiguity."""
+        rng = np.random.default_rng(41)
+        segment = random_sequence(rng, 3000)
+        genome = ReferenceGenome({
+            "chr1": np.concatenate([random_sequence(rng, 2000), segment,
+                                    random_sequence(rng, 2000), segment,
+                                    random_sequence(rng, 2000)])})
+        mapper = Mm2LikeMapper(genome)
+        read = segment[1000:1150]
+        record = mapper.map_read(read, "dup")
+        assert record.mapped
+        assert record.mapq <= 3
+
+    def test_unique_locus_high_mapq(self, plain_reference):
+        mapper = Mm2LikeMapper(plain_reference)
+        record = mapper.map_read(plain_reference.fetch("chr1", 11_000,
+                                                       11_150), "uniq")
+        assert record.mapq == 60
+
+
+class TestConfig:
+    def test_min_score_fraction_rejects_weak(self, plain_reference):
+        strict = Mm2LikeMapper(plain_reference,
+                               config=MapperConfig(
+                                   min_score_fraction=0.99))
+        codes = plain_reference.fetch("chr1", 12_000, 12_150).copy()
+        codes[75] = (codes[75] + 1) % 4  # score 290 < 0.99 * 300
+        assert not strict.map_read(codes, "strict").mapped
+
+    def test_shared_index_reused(self, plain_reference):
+        index = MinimizerIndex.build(plain_reference)
+        mapper_a = Mm2LikeMapper(plain_reference, index=index)
+        mapper_b = Mm2LikeMapper(plain_reference, index=index)
+        assert mapper_a.index is mapper_b.index
+
+    def test_max_insert_bounds_pairing(self, plain_reference):
+        mapper = Mm2LikeMapper(plain_reference,
+                               config=MapperConfig(max_insert=250))
+        read1 = plain_reference.fetch("chr1", 1000, 1150)
+        read2 = reverse_complement(plain_reference.fetch("chr1", 2000,
+                                                         2150))
+        _r1, _r2, proper = mapper.map_pair(read1, read2, "far")
+        assert not proper
+
+
+class TestStatsIntegrity:
+    def test_pair_counters(self, plain_reference, clean_pairs):
+        mapper = Mm2LikeMapper(plain_reference)
+        for pair in clean_pairs[:10]:
+            mapper.map_pair(pair.read1.codes, pair.read2.codes,
+                            pair.name)
+        assert mapper.stats.pairs_seen == 10
+        assert mapper.stats.pairs_proper >= 9
+        assert mapper.stats.anchors_total > 0
+
+    def test_indel_read_cigar(self, plain_reference):
+        mapper = Mm2LikeMapper(plain_reference)
+        template = plain_reference.fetch("chr1", 14_000, 14_155)
+        read = np.concatenate([template[:70], template[73:]])[:150]
+        record = mapper.map_read(read, "del3")
+        assert record.mapped
+        assert record.cigar.count("D") == 3
+        assert record.score == 300 - (12 + 3 * 2)

@@ -1,0 +1,54 @@
+"""Tests for the stage timer."""
+
+import time
+
+from repro.mapper import STAGES, StageTimer
+
+
+class TestStageTimer:
+    def test_accumulates(self):
+        timer = StageTimer()
+        with timer.stage("seeding"):
+            time.sleep(0.002)
+        with timer.stage("seeding"):
+            time.sleep(0.002)
+        assert timer.seconds["seeding"] >= 0.004
+
+    def test_breakdown_sums_to_100(self):
+        timer = StageTimer()
+        with timer.stage("chaining"):
+            time.sleep(0.002)
+        with timer.stage("alignment"):
+            time.sleep(0.002)
+        breakdown = timer.breakdown_percent()
+        assert abs(sum(breakdown.values()) - 100.0) < 1e-6
+
+    def test_zero_total(self):
+        assert all(v == 0.0
+                   for v in StageTimer().breakdown_percent().values())
+
+    def test_unknown_stage_created(self):
+        timer = StageTimer()
+        with timer.stage("custom"):
+            pass
+        assert "custom" in timer.seconds
+
+    def test_reset(self):
+        timer = StageTimer()
+        with timer.stage("seeding"):
+            time.sleep(0.001)
+        timer.reset()
+        assert timer.total == 0.0
+
+    def test_canonical_stages_present(self):
+        assert set(STAGES) <= set(StageTimer().seconds)
+
+    def test_exception_still_recorded(self):
+        timer = StageTimer()
+        try:
+            with timer.stage("alignment"):
+                time.sleep(0.001)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timer.seconds["alignment"] > 0

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for argv in (["simulate"], ["design"],
+                     ["map", "--reference", "r", "--reads1", "a",
+                      "--reads2", "b"],
+                     ["call", "--reference", "r", "--sam", "s"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestWorkflow:
+    def test_simulate_map_call_roundtrip(self, tmp_path, capsys):
+        prefix = str(tmp_path / "demo")
+        assert main(["simulate", "--out", prefix, "--pairs", "80",
+                     "--chromosomes", "40000", "--seed", "3"]) == 0
+        for suffix in ("_ref.fa", "_truth.vcf", "_1.fq", "_2.fq"):
+            assert os.path.exists(prefix + suffix)
+
+        sam_path = str(tmp_path / "out.sam")
+        assert main(["map", "--reference", prefix + "_ref.fa",
+                     "--reads1", prefix + "_1.fq",
+                     "--reads2", prefix + "_2.fq",
+                     "--out", sam_path, "--no-fallback"]) == 0
+        assert os.path.exists(sam_path)
+        body = [line for line in open(sam_path)
+                if not line.startswith("@")]
+        assert len(body) == 160
+
+        vcf_path = str(tmp_path / "calls.vcf")
+        assert main(["call", "--reference", prefix + "_ref.fa",
+                     "--sam", sam_path, "--out", vcf_path]) == 0
+        assert open(vcf_path).readline().startswith("##fileformat")
+        out = capsys.readouterr().out
+        assert "mapped 80 pairs" in out
+
+    def test_design_report(self, capsys):
+        assert main(["design", "--memory", "DDR5",
+                     "--simulated-pairs", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "Light Alignment" in out
+        assert "GenPairX + GenDP" in out
+        assert "host interface" in out

@@ -1,0 +1,29 @@
+"""Tests for ASCII table helpers."""
+
+from repro.util import format_table, paper_vs_measured
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(("a", "b"), [(1, 2.5), ("xx", 10_000.0)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) == {"-"}
+        assert "10,000" in lines[3]
+
+    def test_title(self):
+        text = format_table(("x",), [(1,)], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_float_formats(self):
+        text = format_table(("v",), [(0.12345,), (12.345,), (1234.5,),
+                                     (0.0,)])
+        assert "0.1234" in text or "0.1235" in text
+        assert "12.3" in text
+        assert "1,234" in text or "1,235" in text
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured([("throughput", 192.7, 193.8)])
+        assert "paper" in text.splitlines()[0]
+        assert "measured" in text.splitlines()[0]
+        assert "192.7" in text

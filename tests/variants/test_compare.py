@@ -1,0 +1,70 @@
+"""Tests for truth-set comparison metrics."""
+
+import pytest
+
+from repro.genome import Variant
+from repro.variants import compare_calls, split_by_kind
+
+
+def v(pos, ref="A", alt="T", chrom="chr1"):
+    return Variant(chrom, pos, ref, alt)
+
+
+class TestCompareCalls:
+    def test_perfect_calls(self):
+        truth = [v(10), v(20), v(30)]
+        report = compare_calls(truth, truth)
+        assert report.true_positives == 3
+        assert report.false_positives == 0
+        assert report.false_negatives == 0
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_false_positive(self):
+        report = compare_calls([v(10), v(99)], [v(10)])
+        assert report.true_positives == 1
+        assert report.false_positives == 1
+        assert report.precision == 0.5
+
+    def test_false_negative(self):
+        report = compare_calls([v(10)], [v(10), v(20)])
+        assert report.false_negatives == 1
+        assert report.recall == 0.5
+
+    def test_allele_mismatch_is_fp_and_fn(self):
+        report = compare_calls([v(10, "A", "G")], [v(10, "A", "T")])
+        assert report.true_positives == 0
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+
+    def test_duplicate_calls_counted_once(self):
+        report = compare_calls([v(10), v(10)], [v(10)])
+        assert report.true_positives == 1
+
+    def test_indel_position_slack(self):
+        truth = [v(100, "ACC", "A")]
+        shifted = [v(101, "CCA", "C")]  # same 2bp deletion, shifted anchor
+        report = compare_calls(shifted, truth, indel_position_slack=2)
+        assert report.true_positives == 1
+        assert report.false_positives == 0
+
+    def test_indel_slack_respects_length(self):
+        truth = [v(100, "ACC", "A")]        # 2bp deletion
+        wrong = [v(100, "AC", "A")]          # 1bp deletion
+        report = compare_calls(wrong, truth)
+        assert report.true_positives == 0
+
+    def test_empty_sets(self):
+        report = compare_calls([], [])
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+
+class TestSplitByKind:
+    def test_split(self):
+        variants = [v(1), v(2, "A", "ATT"), v(3, "ACC", "A")]
+        snps, indels = split_by_kind(variants)
+        assert len(snps) == 1
+        assert len(indels) == 2

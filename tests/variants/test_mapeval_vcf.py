@@ -1,0 +1,67 @@
+"""Tests for mapeval and VCF I/O."""
+
+import pytest
+
+from repro.genome import AlignmentRecord, Cigar, SimulatedRead, Variant
+from repro.variants import (evaluate_mappings, is_correct, read_vcf,
+                            write_vcf)
+import numpy as np
+
+
+def truth(chrom="chr1", start=1000):
+    return SimulatedRead("r", np.zeros(150, dtype=np.uint8), chrom, start,
+                         start + 150, "+")
+
+
+def rec(chrom="chr1", pos=1000, mapped=True):
+    return AlignmentRecord("r", chrom, pos, cigar=Cigar.parse("150="),
+                           mapped=mapped)
+
+
+class TestMapeval:
+    def test_correct_mapping(self):
+        assert is_correct(rec(), truth())
+
+    def test_within_tolerance(self):
+        assert is_correct(rec(pos=1020), truth(), tolerance=30)
+        assert not is_correct(rec(pos=1050), truth(), tolerance=30)
+
+    def test_wrong_chromosome(self):
+        assert not is_correct(rec(chrom="chr2"), truth())
+
+    def test_unmapped_incorrect(self):
+        assert not is_correct(rec(mapped=False), truth())
+
+    def test_evaluate_metrics(self):
+        records = [rec(), rec(pos=5000), rec(mapped=False)]
+        truths = [truth(), truth(), truth()]
+        report = evaluate_mappings(records, truths)
+        assert report.total == 3
+        assert report.mapped == 2
+        assert report.correct == 1
+        assert report.precision == 0.5
+        assert report.recall == pytest.approx(1 / 3)
+        assert 0 < report.f1 < 1
+
+    def test_parallel_lists_required(self):
+        with pytest.raises(ValueError):
+            evaluate_mappings([rec()], [])
+
+
+class TestVcf:
+    def test_round_trip(self, tmp_path, plain_reference):
+        variants = [Variant("chr1", 10, "A", "T", "het"),
+                    Variant("chr1", 50, "A", "ATT", "hom"),
+                    Variant("chr1", 90, "ACC", "A", "het")]
+        path = tmp_path / "calls.vcf"
+        assert write_vcf(path, variants, reference=plain_reference) == 3
+        loaded = read_vcf(path)
+        assert [v.key for v in loaded] == [v.key for v in variants]
+        assert [v.genotype for v in loaded] == ["het", "hom", "het"]
+
+    def test_header_written(self, tmp_path, plain_reference):
+        path = tmp_path / "calls.vcf"
+        write_vcf(path, [], reference=plain_reference)
+        text = path.read_text()
+        assert text.startswith("##fileformat=VCFv4.2")
+        assert "##contig=<ID=chr1" in text

@@ -1,0 +1,97 @@
+"""Edge-case tests for the variant-calling substrate."""
+
+import numpy as np
+import pytest
+
+from repro.genome import AlignmentRecord, Cigar
+from repro.variants import CallerConfig, Pileup, call_variants
+
+
+def add_reads(pileup, chrom, pos, codes, count, cigar=None):
+    cigar = cigar or f"{len(codes)}="
+    for _ in range(count):
+        pileup.add_record(AlignmentRecord(
+            "r", chrom, pos, cigar=Cigar.parse(cigar),
+            read_codes=codes, mapped=True))
+
+
+class TestMultiAllelic:
+    def test_two_alt_alleles_both_called(self, plain_reference):
+        pileup = Pileup(plain_reference)
+        ref_codes = plain_reference.fetch("chr1", 1000, 1030)
+        alt_a = ref_codes.copy()
+        alt_a[5] = (alt_a[5] + 1) % 4
+        alt_b = ref_codes.copy()
+        alt_b[5] = (alt_b[5] + 2) % 4
+        add_reads(pileup, "chr1", 1000, alt_a, 6)
+        add_reads(pileup, "chr1", 1000, alt_b, 6)
+        calls = call_variants(pileup)
+        assert len(calls) == 2
+        assert {c.alt for c in calls} == {
+            "ACGT"[int(alt_a[5])], "ACGT"[int(alt_b[5])]}
+
+    def test_genotype_boundary(self, plain_reference):
+        config = CallerConfig(min_depth=6, min_alt_count=3,
+                              min_alt_fraction=0.25, hom_fraction=0.75)
+        pileup = Pileup(plain_reference)
+        ref_codes = plain_reference.fetch("chr1", 2000, 2030)
+        alt = ref_codes.copy()
+        alt[0] = (alt[0] + 1) % 4
+        # Exactly 75% alt -> homozygous by the >= boundary.
+        add_reads(pileup, "chr1", 2000, alt, 9)
+        add_reads(pileup, "chr1", 2000, ref_codes, 3)
+        calls = call_variants(pileup, config)
+        assert calls[0].genotype == "hom"
+
+
+class TestClippedAndPartial:
+    def test_soft_clip_does_not_leak_observations(self, plain_reference):
+        pileup = Pileup(plain_reference)
+        window = plain_reference.fetch("chr1", 3000, 3020)
+        junk = np.zeros(10, dtype=np.uint8)
+        codes = np.concatenate([junk, window])
+        pileup.add_record(AlignmentRecord(
+            "r", "chr1", 3000, cigar=Cigar.parse("10S20="),
+            read_codes=codes, mapped=True))
+        # Nothing before position 3000 observed.
+        assert pileup.columns("chr1").keys() == set(range(3000, 3020))
+
+    def test_record_overhanging_end_clamped(self, plain_reference):
+        pileup = Pileup(plain_reference)
+        end = plain_reference.length("chr1")
+        window = plain_reference.fetch("chr1", end - 20, end)
+        codes = np.concatenate([window, np.zeros(10, dtype=np.uint8)])
+        pileup.add_record(AlignmentRecord(
+            "r", "chr1", end - 20, cigar=Cigar.parse("30="),
+            read_codes=codes, mapped=True))
+        assert max(pileup.columns("chr1")) == end - 1
+
+    def test_insertion_at_read_start_skipped(self, plain_reference):
+        """An insertion with no preceding aligned base has no anchor."""
+        pileup = Pileup(plain_reference)
+        window = plain_reference.fetch("chr1", 4000, 4020)
+        codes = np.concatenate([np.zeros(2, dtype=np.uint8), window])
+        pileup.add_record(AlignmentRecord(
+            "r", "chr1", 4000, cigar=Cigar.parse("2I20="),
+            read_codes=codes, mapped=True))
+        for column in pileup.columns("chr1").values():
+            assert not column.indel_counts
+
+
+class TestCallerThresholds:
+    def test_min_alt_count_dominates_fraction(self, plain_reference):
+        config = CallerConfig(min_depth=6, min_alt_count=5,
+                              min_alt_fraction=0.1)
+        pileup = Pileup(plain_reference)
+        ref_codes = plain_reference.fetch("chr1", 5000, 5030)
+        alt = ref_codes.copy()
+        alt[0] = (alt[0] + 1) % 4
+        add_reads(pileup, "chr1", 5000, alt, 4)       # 40% but count 4
+        add_reads(pileup, "chr1", 5000, ref_codes, 6)
+        assert call_variants(pileup, config) == []
+
+    def test_reference_only_column_silent(self, plain_reference):
+        pileup = Pileup(plain_reference)
+        codes = plain_reference.fetch("chr1", 6000, 6030)
+        add_reads(pileup, "chr1", 6000, codes, 30)
+        assert call_variants(pileup) == []

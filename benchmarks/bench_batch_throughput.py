@@ -1,0 +1,119 @@
+"""Batched mapping engine throughput: pairs/sec vs. the per-pair path.
+
+The batched engine (``GenPairPipeline.map_batch``) hashes every seed of
+a chunk with one vectorized xxHash call, resolves them against the
+array-backed Seed Table in one ``searchsorted`` probe, and merges
+candidates batch-wide — the software analogue of the paper's
+burst-oriented dataflow (§4.2–§4.5), where per-seed pointer chasing is
+replaced by streaming, contiguous accesses.  This bench records the
+speedup over the scalar reference path (``map_pair`` in a loop) on
+
+* a *clean* dataset (error-free reads, repeat-free reference) that
+  isolates the seed-to-candidate engine the batch path vectorizes, and
+* a *giab* dataset (repeat-rich reference, realistic error model) where
+  per-pair alignment work — identical in both engines — dilutes the
+  end-to-end gain,
+
+plus the forked-worker sharded mode at several worker counts.  Results
+are bit-identical between engines (asserted here on full records).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.core import GenPairPipeline, SeedMap
+from repro.genome import ErrorModel, ReadSimulator, generate_reference
+from repro.util import format_table
+
+CLEAN_PAIRS = 1000
+BATCH_SIZES = (32, 256, 1024)
+WORKER_COUNTS = (2, 4)
+
+
+def _throughput(reference, seedmap, pairs, runner,
+                repeats: int = 3) -> float:
+    """Best-of-``repeats`` pairs/sec of ``runner(pipeline, pairs)``."""
+    best = float("inf")
+    for _ in range(repeats):
+        pipeline = GenPairPipeline(reference, seedmap=seedmap)
+        start = time.perf_counter()
+        runner(pipeline, pairs)
+        best = min(best, time.perf_counter() - start)
+    return len(pairs) / best
+
+
+def _record_signature(record):
+    return (record.query_name, record.chromosome, record.position,
+            record.strand, record.mapq, str(record.cigar), record.score,
+            record.mate, record.mapped, record.method,
+            record.mate_chromosome, record.mate_position,
+            record.mate_strand, record.template_length,
+            record.proper_pair)
+
+
+def _result_signature(result):
+    return (result.name, result.stage, result.orientation,
+            result.joint_score, _record_signature(result.record1),
+            _record_signature(result.record2))
+
+
+def test_batch_throughput(bench_reference, bench_seedmap, bench_datasets):
+    clean_reference = generate_reference(np.random.default_rng(41),
+                                         (80_000,), repeats=None)
+    clean_seedmap = SeedMap.build(clean_reference)
+    clean_simulator = ReadSimulator(clean_reference,
+                                    error_model=ErrorModel.perfect(),
+                                    seed=43)
+    clean_pairs = clean_simulator.simulate_pairs(CLEAN_PAIRS)
+    giab_pairs = bench_datasets["dataset1"]
+
+    worlds = {
+        "clean": (clean_reference, clean_seedmap, clean_pairs),
+        "giab": (bench_reference, bench_seedmap, giab_pairs),
+    }
+    rows = []
+    speedup_at = {}
+    for label, (reference, seedmap, pairs) in worlds.items():
+        per_pair = _throughput(reference, seedmap, pairs,
+                               lambda p, d: p.map_pairs(d))
+        rows.append((label, "per-pair", "-", f"{per_pair:,.0f}", "1.00x"))
+        for batch in BATCH_SIZES:
+            rate = _throughput(
+                reference, seedmap, pairs,
+                lambda p, d, b=batch: p.map_batch(d, chunk_size=b))
+            rows.append((label, "batched", str(batch), f"{rate:,.0f}",
+                         f"{rate / per_pair:.2f}x"))
+            if batch == 256:
+                speedup_at[label] = rate / per_pair
+        for workers in WORKER_COUNTS:
+            rate = _throughput(
+                reference, seedmap, pairs,
+                lambda p, d, w=workers: p.map_batch(d, chunk_size=256,
+                                                    workers=w),
+                repeats=2)
+            rows.append((label, f"sharded x{workers}", "256",
+                         f"{rate:,.0f}", f"{rate / per_pair:.2f}x"))
+
+    # Correctness gate: the engines must agree bit-for-bit.
+    reference, seedmap, pairs = worlds["giab"]
+    sequential = GenPairPipeline(reference, seedmap=seedmap)
+    batched = GenPairPipeline(reference, seedmap=seedmap)
+    seq_results = sequential.map_pairs(pairs)
+    bat_results = batched.map_batch(pairs, chunk_size=256)
+    assert ([_result_signature(r) for r in seq_results]
+            == [_result_signature(r) for r in bat_results])
+    assert sequential.stats == batched.stats
+
+    emit("batch_throughput", format_table(
+        ("dataset", "engine", "batch", "pairs/s", "speedup"), rows,
+        title="Batched engine throughput (vs per-pair reference path)"))
+
+    # The batched engine must clear 3x on the seed-bound workload.
+    assert speedup_at["clean"] >= 3.0
+    # On the alignment-bound workload the engines do identical per-pair
+    # alignment work, so the batch path is parity-within-noise.
+    assert speedup_at["giab"] >= 0.85

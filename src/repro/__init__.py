@@ -7,7 +7,12 @@ Public API layout:
 * :mod:`repro.align` — affine-gap DP aligners and chaining;
 * :mod:`repro.mapper` — the baseline seed-chain-align mapper ("MM2");
 * :mod:`repro.core` — the GenPair algorithm (SeedMap, partitioned
-  seeding, paired-adjacency filtering, light alignment, pipeline);
+  seeding, paired-adjacency filtering, light alignment, pipeline); the
+  pipeline ships two bit-identical execution engines — the scalar
+  ``map_pair`` reference path and the batched ``map_batch`` engine,
+  which hashes a whole chunk's seeds in one vectorized call, resolves
+  them against the array-backed SeedMap in one probe, and optionally
+  shards chunks across forked workers (``workers=N``);
 * :mod:`repro.hw` — the GenPairX hardware model (NMSL, sizing, costs);
 * :mod:`repro.filters` — pre-alignment filter baselines (SHD,
   GateKeeper, FastHASH adjacency, exact match);

@@ -9,6 +9,23 @@ Subpackages by pipeline stage:
 * :mod:`~repro.core.light_align` — Light Alignment (§4.6);
 * :mod:`~repro.core.pipeline` — the end-to-end online dataflow + fallbacks;
 * :mod:`~repro.core.longread` — long-read mode via Location Voting (§4.7).
+
+Batch API: the pipeline exposes two execution engines over the same
+dataflow.  :meth:`GenPairPipeline.map_pair` is the scalar reference path;
+:meth:`GenPairPipeline.map_batch` is the batched engine — seeds of a
+whole chunk are sliced out per the shared role contract
+(:func:`~repro.core.seeding.pair_role_codes`), hashed with one
+vectorized xxHash call (:func:`repro.hashing.hash_reads_batch`), and
+resolved against the array-backed Seed Table in one ``np.searchsorted``
+probe (:meth:`SeedMap.query_batch` via
+:func:`~repro.core.query.query_hash_groups`), merging per-read candidate
+lists batch-wide.  :func:`~repro.core.seeding.partition_pairs_batch` and
+:func:`~repro.core.query.query_reads_batch` are the Seed-level batch
+counterparts of ``partition_pair``/``query_read`` built on the same
+primitives (and pin the scalar/batch equivalence in the test suite).
+``map_batch(..., workers=N)`` shards the input over forked processes,
+merging per-shard counters with :meth:`PipelineStats.merge`.  Both
+engines produce bit-identical :class:`PairResult` streams.
 """
 
 from .insert_estimator import (InsertSizeEstimate, InsertSizeEstimator,
@@ -17,22 +34,27 @@ from .light_align import (EditProfile, LightAligner, LightAlignment,
                           enumerate_simple_profiles)
 from .longread import LongReadConfig, LongReadMapper, LongReadStats
 from .pairfilter import DEFAULT_DELTA, FilterResult, filter_adjacent
-from .pipeline import (STAGE_DP_CANDIDATE, STAGE_FULL_DP, STAGE_LIGHT,
-                       STAGE_UNMAPPED, GenPairConfig, GenPairPipeline,
-                       PairResult, PipelineStats)
-from .query import QueryResult, query_pair, query_read
+from .pipeline import (DEFAULT_BATCH_SIZE, STAGE_DP_CANDIDATE,
+                       STAGE_FULL_DP, STAGE_LIGHT, STAGE_UNMAPPED,
+                       GenPairConfig, GenPairPipeline, PairResult,
+                       PipelineStats)
+from .query import (QueryResult, query_hash_groups, query_pair,
+                    query_read, query_reads_batch)
 from .seedmap import (DEFAULT_FILTER_THRESHOLD, LOCATION_ENTRY_BYTES,
                       SEED_TABLE_ENTRY_BYTES, SeedMap, SeedMapStats)
-from .seeding import PairSeeds, Seed, partition_pair, partition_read
+from .seeding import (PairSeeds, Seed, pair_role_codes, partition_pair,
+                      partition_pairs_batch, partition_read, seed_offsets)
 
 __all__ = [
-    "DEFAULT_DELTA", "DEFAULT_FILTER_THRESHOLD", "EditProfile",
-    "InsertSizeEstimate", "InsertSizeEstimator", "calibrate_delta",
-    "FilterResult", "GenPairConfig", "GenPairPipeline", "LightAligner",
-    "LightAlignment", "LOCATION_ENTRY_BYTES", "LongReadConfig",
-    "LongReadMapper", "LongReadStats", "PairResult", "PairSeeds",
-    "PipelineStats", "QueryResult", "SEED_TABLE_ENTRY_BYTES", "STAGE_DP_CANDIDATE",
-    "STAGE_FULL_DP", "STAGE_LIGHT", "STAGE_UNMAPPED", "Seed", "SeedMap",
-    "SeedMapStats", "enumerate_simple_profiles", "filter_adjacent",
-    "partition_pair", "partition_read", "query_pair", "query_read",
+    "DEFAULT_BATCH_SIZE", "DEFAULT_DELTA", "DEFAULT_FILTER_THRESHOLD",
+    "EditProfile", "InsertSizeEstimate", "InsertSizeEstimator",
+    "calibrate_delta", "FilterResult", "GenPairConfig", "GenPairPipeline",
+    "LightAligner", "LightAlignment", "LOCATION_ENTRY_BYTES",
+    "LongReadConfig", "LongReadMapper", "LongReadStats", "PairResult",
+    "PairSeeds", "PipelineStats", "QueryResult", "SEED_TABLE_ENTRY_BYTES",
+    "STAGE_DP_CANDIDATE", "STAGE_FULL_DP", "STAGE_LIGHT", "STAGE_UNMAPPED",
+    "Seed", "SeedMap", "SeedMapStats", "enumerate_simple_profiles",
+    "filter_adjacent", "pair_role_codes", "partition_pair",
+    "partition_pairs_batch", "partition_read", "query_hash_groups",
+    "query_pair", "query_read", "query_reads_batch", "seed_offsets",
 ]

@@ -159,6 +159,17 @@ class LightAligner:
         shift_hi = min(max_e, len(window) - offset - length)
         if shift_hi < 0 or shift_lo > 0:
             return None
+        # Exact-match fast path: the profile lattice is best-score-first
+        # and the 0-edit profile always leads it (when the perfect score
+        # clears the threshold at all), tried at shift 0 first — so a
+        # read matching the candidate frame exactly short-circuits the
+        # whole mask machinery with an identical result.
+        profiles = self.profiles_for(length)
+        if profiles and profiles[0].mismatches == 0 and np.array_equal(
+                read, window[offset:offset + length]):
+            return LightAlignment(score=profiles[0].score,
+                                  cigar=Cigar.from_pairs([(length, "=")]),
+                                  ref_start=offset, profile=profiles[0])
         shifts = range(shift_lo, shift_hi + 1)
         masks = {}
         prefix_mismatches = {}
@@ -171,7 +182,7 @@ class LightAligner:
             np.cumsum(~mask, out=cumulative[1:])
             prefix_mismatches[shift] = cumulative
 
-        for profile in self.profiles_for(length):
+        for profile in profiles:
             hit = self._try_profile(profile, length, masks,
                                     prefix_mismatches, shift_lo,
                                     shift_hi, offset)

@@ -66,6 +66,7 @@ class LongReadMapper:
         self.seedmap = seedmap if seedmap is not None else SeedMap.build(
             reference, seed_length=config.seed_length)
         self.stats = LongReadStats()
+        self._chromosome_starts = reference.linear_starts()
 
     def map_read(self, codes: np.ndarray,
                  name: str = "long") -> AlignmentRecord:
@@ -109,7 +110,8 @@ class LongReadMapper:
             result2 = query_read(self.seedmap, seeds2)
             filtered = filter_adjacent(result1.candidates,
                                        result2.candidates,
-                                       delta=config.delta)
+                                       delta=config.delta,
+                                       boundaries=self._chromosome_starts)
             for cand1, _cand2 in filtered.pairs:
                 implied_start = cand1 - off1
                 votes[implied_start // config.vote_bin] += 1

@@ -18,7 +18,7 @@ than the read length.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -45,7 +45,9 @@ class FilterResult:
 def filter_adjacent(candidates1: np.ndarray, candidates2: np.ndarray,
                     delta: int = DEFAULT_DELTA,
                     allow_dovetail: int = 30,
-                    max_pairs: int = 64) -> FilterResult:
+                    max_pairs: int = 64,
+                    boundaries: Optional[np.ndarray] = None
+                    ) -> FilterResult:
     """Two-pointer sweep over two sorted candidate lists.
 
     Parameters
@@ -62,9 +64,25 @@ def filter_adjacent(candidates1: np.ndarray, candidates2: np.ndarray,
         Safety cap on emitted joint candidates (the hardware emits into a
         bounded FIFO; extremely repetitive regions would otherwise explode
         quadratically).
+    boundaries:
+        Sorted global start offsets of each chromosome (see
+        :meth:`repro.genome.ReferenceGenome.linear_starts`).  The linear
+        coordinate space concatenates chromosomes, so without this check
+        a candidate near the end of one chromosome could pair with one at
+        the start of the next (gap ≤ Δ across the boundary) even though
+        no real fragment spans two chromosomes.  When given, joint
+        candidates whose two positions fall in different chromosomes are
+        rejected; ``None`` preserves the raw linear-distance semantics.
     """
     list1 = candidates1.tolist()
     list2 = candidates2.tolist()
+    if boundaries is not None:
+        chrom1 = np.searchsorted(boundaries, candidates1,
+                                 side="right").tolist()
+        chrom2 = np.searchsorted(boundaries, candidates2,
+                                 side="right").tolist()
+    else:
+        chrom1 = chrom2 = None
     pairs: List[Tuple[int, int]] = []
     iterations = 0
     i = j = 0
@@ -80,11 +98,15 @@ def filter_adjacent(candidates1: np.ndarray, candidates2: np.ndarray,
             i += 1
         else:
             # In range: emit, then scan read 2 candidates near this pos1.
+            # The element at ``scan == j`` was already compared by the
+            # outer step above, so it costs no extra comparator cycle.
             scan = j
             while (scan < n2 and list2[scan] - pos1 <= delta
                    and len(pairs) < max_pairs):
-                iterations += 1
-                if list2[scan] - pos1 >= -allow_dovetail:
+                if scan != j:
+                    iterations += 1
+                if list2[scan] - pos1 >= -allow_dovetail and (
+                        chrom1 is None or chrom1[i] == chrom2[scan]):
                     pairs.append((pos1, list2[scan]))
                 scan += 1
             i += 1

@@ -14,11 +14,25 @@ This is the paper's Fig 3 dataflow with the Fig 10 fallback arcs:
 Every stage records the counters the hardware model and the Fig 10 / 12
 benches consume: locations fetched, filter iterations, light-alignment
 attempts, and DP cells for the residual work (GenDP MCUPS sizing, §7.4).
+
+Two execution engines share the exact same per-pair decision logic:
+
+* :meth:`GenPairPipeline.map_pair` — the reference scalar path, one pair
+  at a time;
+* :meth:`GenPairPipeline.map_batch` — the batched engine, which hashes
+  all seeds of a chunk with one vectorized xxHash call, resolves every
+  seed against the array-backed SeedMap in one ``searchsorted`` probe,
+  and merges candidates batch-wide, only dropping to per-pair Python for
+  filtering and alignment.  With ``workers=N`` the batch is sharded
+  across forked processes and the per-shard :class:`PipelineStats` are
+  merged back.  Results are bit-identical between the two engines
+  (asserted in the test suite).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+from dataclasses import dataclass, fields
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,11 +45,13 @@ from ..genome.reference import ReferenceGenome
 from ..genome.sam import (METHOD_DP, METHOD_EXACT, METHOD_LIGHT,
                           AlignmentRecord)
 from ..genome.sequence import reverse_complement
+from ..hashing import hash_reads_batch
 from .light_align import LightAligner
 from .pairfilter import DEFAULT_DELTA, filter_adjacent
-from .query import query_read
+from .query import QueryResult, query_hash_groups, query_read
 from .seedmap import DEFAULT_FILTER_THRESHOLD, SeedMap
-from .seeding import PairSeeds, partition_pair
+from .seeding import (PairSeeds, pair_role_codes, partition_pair,
+                      seed_offsets)
 
 #: Stage labels recorded on every mapped pair (Fig 10 vocabulary).
 STAGE_LIGHT = "light"            # mapped and aligned by GenPair
@@ -49,6 +65,11 @@ STAGE_UNMAPPED = "unmapped"
 FullFallback = Callable[[np.ndarray, np.ndarray, str],
                         Optional[Tuple[AlignmentRecord, AlignmentRecord,
                                        int]]]
+
+#: Default batch granularity of :meth:`GenPairPipeline.map_batch` — big
+#: enough to amortize the vectorized hashing/query setup, small enough to
+#: keep the gathered location arrays cache-resident.
+DEFAULT_BATCH_SIZE = 256
 
 
 @dataclass(frozen=True)
@@ -87,6 +108,13 @@ class PipelineStats:
     light_attempts: int = 0
     dp_cells_candidate: int = 0
     dp_cells_full: int = 0
+
+    def merge(self, other: "PipelineStats") -> "PipelineStats":
+        """Fold another counter set into this one (sharded workers)."""
+        for spec in fields(self):
+            setattr(self, spec.name,
+                    getattr(self, spec.name) + getattr(other, spec.name))
+        return self
 
     def fraction(self, count: int) -> float:
         return count / self.pairs_total if self.pairs_total else 0.0
@@ -159,23 +187,179 @@ class GenPairPipeline:
                                           threshold=config.score_threshold)
         self.full_fallback = full_fallback
         self.stats = PipelineStats()
+        self._chromosome_starts = reference.linear_starts()
 
     # -- public API --------------------------------------------------------
 
     def map_pair(self, read1: np.ndarray, read2: np.ndarray,
                  name: str = "pair") -> PairResult:
         """Map one read-pair through the full GenPair dataflow."""
-        stats = self.stats
-        stats.pairs_total += 1
         orientations = partition_pair(read1, read2,
                                       self.config.seed_length,
                                       self.config.seeds_per_read)
+        return self._map_prepared(read1, read2, name, orientations, None)
+
+    def map_pairs(self, pairs: Sequence) -> List[PairResult]:
+        """Map a batch; accepts (read1, read2, name) tuples or objects with
+        ``read1.codes``/``read2.codes``/``name`` (e.g. SimulatedPair)."""
+        return [self.map_pair(read1, read2, name)
+                for read1, read2, name in self._normalize_pairs(pairs)]
+
+    def map_batch(self, pairs: Sequence,
+                  chunk_size: int = DEFAULT_BATCH_SIZE,
+                  workers: Optional[int] = None) -> List[PairResult]:
+        """Map pairs through the batched engine (bit-identical results).
+
+        Pairs are processed in chunks of ``chunk_size``: each chunk's
+        seeds are hashed with one vectorized call, resolved against the
+        SeedMap in one batched probe, and merged into per-read candidate
+        lists batch-wide; only adjacency filtering and alignment run
+        per-pair.  ``workers=N`` (N > 1) additionally shards the input
+        across ``N`` forked worker processes, each mapping its shard with
+        the batched engine; per-shard statistics are folded back into
+        :attr:`stats` via :meth:`PipelineStats.merge`.  Accepts the same
+        inputs as :meth:`map_pairs` and returns results in input order.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        items = self._normalize_pairs(pairs)
+        if workers is not None and workers > 1 and len(items) > 1:
+            return self._map_batch_sharded(items, chunk_size, workers)
+        results: List[PairResult] = []
+        for start in range(0, len(items), chunk_size):
+            results.extend(self._map_chunk(items[start:start + chunk_size]))
+        return results
+
+    # -- batched engine ----------------------------------------------------
+
+    @staticmethod
+    def _normalize_pairs(pairs: Sequence
+                         ) -> List[Tuple[np.ndarray, np.ndarray, str]]:
+        items = []
+        for index, pair in enumerate(pairs):
+            if hasattr(pair, "read1"):
+                items.append((pair.read1.codes, pair.read2.codes,
+                              pair.name))
+            else:
+                read1, read2 = pair[0], pair[1]
+                name = pair[2] if len(pair) > 2 else f"pair{index}"
+                items.append((read1, read2, name))
+        return items
+
+    def _map_chunk(self, items: Sequence[Tuple[np.ndarray, np.ndarray,
+                                               str]]) -> List[PairResult]:
+        """Batch-seed, batch-hash, and batch-query one chunk of pairs.
+
+        The chunk's seed windows are sliced out of one concatenated code
+        buffer, hashed with a single vectorized call, and resolved with
+        one batched SeedMap probe; the per-pair decision logic then runs
+        over the pre-resolved :class:`QueryResult` quadruple of each pair
+        (roles: fr read1, fr read2, rf read1, rf read2 — the same seeds
+        :func:`~repro.core.seeding.partition_pair` would extract).
+        """
+        if not items:
+            return []
+        seed_length = self.config.seed_length
+        seeds_per_read = self.config.seeds_per_read
+        role_codes: List[np.ndarray] = []
+        for read1, read2, _ in items:
+            role_codes.extend(pair_role_codes(read1, read2))
+        offsets_by_length = {}
+        role_offsets = []
+        for codes in role_codes:
+            length = len(codes)
+            offsets = offsets_by_length.get(length)
+            if offsets is None:
+                offsets = seed_offsets(length, seed_length, seeds_per_read)
+                offsets_by_length[length] = offsets
+            role_offsets.append(offsets)
+        lengths = np.array([len(codes) for codes in role_codes],
+                           dtype=np.int64)
+        sizes = [len(offsets) for offsets in role_offsets]
+        flat_offsets = np.array(
+            [offset for offsets in role_offsets for offset in offsets],
+            dtype=np.int64)
+        groups = np.repeat(np.arange(len(role_codes)), sizes)
+        buffer = np.concatenate(role_codes)
+        if flat_offsets.size and buffer.size >= seed_length:
+            bases = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+            window_starts = bases[groups] + flat_offsets
+            windows = np.lib.stride_tricks.sliding_window_view(
+                buffer, seed_length)[window_starts]
+            hashes = hash_reads_batch(windows)
+        else:
+            hashes = np.zeros(0, dtype=np.uint64)
+            flat_offsets = flat_offsets[:0]
+            groups = groups[:0]
+        queries = query_hash_groups(self.seedmap, hashes, flat_offsets,
+                                    groups, len(role_codes), sizes)
+        results = []
+        for index, (read1, read2, name) in enumerate(items):
+            base = 4 * index
+            prepared = ((queries[base], queries[base + 1]),
+                        (queries[base + 2], queries[base + 3]))
+            results.append(self._map_prepared(read1, read2, name,
+                                              _BATCH_ORIENTATIONS,
+                                              prepared))
+        return results
+
+    def _map_batch_sharded(self, items, chunk_size: int,
+                           workers: int) -> List[PairResult]:
+        import multiprocessing
+
+        workers = min(workers, len(items))
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            # No fork start method (e.g. Windows): the pipeline holds
+            # closures and array views that do not pickle reliably, so
+            # degrade to the in-process batched engine.
+            return self.map_batch(items, chunk_size=chunk_size)
+        bounds = np.linspace(0, len(items), workers + 1).astype(int)
+        token = next(_FORK_TOKENS)
+        shards = [(token, int(lo), int(hi))
+                  for lo, hi in zip(bounds[:-1], bounds[1:]) if lo < hi]
+        # Registered under a unique token so concurrent map_batch calls
+        # (e.g. two pipelines on different threads) cannot clobber each
+        # other's fork-inherited state.
+        _FORK_STATE[token] = (self, items, chunk_size)
+        try:
+            with context.Pool(processes=len(shards)) as pool:
+                outcomes = pool.map(_map_shard, shards)
+        finally:
+            del _FORK_STATE[token]
+        results: List[PairResult] = []
+        for shard_results, shard_stats in outcomes:
+            results.extend(shard_results)
+            self.stats.merge(shard_stats)
+        return results
+
+    # -- shared per-pair dataflow ------------------------------------------
+
+    def _map_prepared(self, read1: np.ndarray, read2: np.ndarray,
+                      name: str, orientations: Sequence[PairSeeds],
+                      prepared: Optional[Sequence[Tuple[QueryResult,
+                                                        QueryResult]]]
+                      ) -> PairResult:
+        """Seed-to-result dataflow shared by both execution engines.
+
+        ``prepared`` carries pre-resolved SeedMap queries (one
+        ``(read1, read2)`` result per orientation) from the batched
+        engine; ``None`` makes the scalar engine query inline.  Either
+        way an orientation's query statistics are only charged when that
+        orientation is actually tried.
+        """
+        stats = self.stats
+        stats.pairs_total += 1
         any_seed_hit = False
         best_filtered: Optional[Tuple[PairSeeds, Tuple[Tuple[int, int],
                                                        ...]]] = None
-        for pair_seeds in orientations:
-            result1 = query_read(self.seedmap, pair_seeds.read1)
-            result2 = query_read(self.seedmap, pair_seeds.read2)
+        for index, pair_seeds in enumerate(orientations):
+            if prepared is None:
+                result1 = query_read(self.seedmap, pair_seeds.read1)
+                result2 = query_read(self.seedmap, pair_seeds.read2)
+            else:
+                result1, result2 = prepared[index]
             stats.locations_fetched += (result1.locations_fetched
                                         + result2.locations_fetched)
             stats.traffic_bytes += (result1.traffic_bytes
@@ -184,7 +368,8 @@ class GenPairPipeline:
                 any_seed_hit = True
             filtered = filter_adjacent(result1.candidates,
                                        result2.candidates,
-                                       delta=self.config.delta)
+                                       delta=self.config.delta,
+                                       boundaries=self._chromosome_starts)
             stats.filter_iterations += filtered.iterations
             if filtered.passed:
                 best_filtered = (pair_seeds, filtered.pairs)
@@ -205,8 +390,8 @@ class GenPairPipeline:
             stats.light_mapped += 1
             result = self._build_result(name, STAGE_LIGHT, pair_seeds,
                                         read1, read2, light)
-            if result.joint_score == 2 * self.scheme.perfect_score(
-                    len(read1)):
+            if result.joint_score == self._perfect_joint(oriented1,
+                                                         oriented2):
                 stats.exact_pairs += 1
             return result
 
@@ -219,21 +404,14 @@ class GenPairPipeline:
         stats.residual_fallback += 1
         return self._full_fallback(read1, read2, name)
 
-    def map_pairs(self, pairs: Sequence) -> List[PairResult]:
-        """Map a batch; accepts (read1, read2, name) tuples or objects with
-        ``read1.codes``/``read2.codes``/``name`` (e.g. SimulatedPair)."""
-        results = []
-        for index, pair in enumerate(pairs):
-            if hasattr(pair, "read1"):
-                results.append(self.map_pair(pair.read1.codes,
-                                             pair.read2.codes, pair.name))
-            else:
-                read1, read2 = pair[0], pair[1]
-                name = pair[2] if len(pair) > 2 else f"pair{index}"
-                results.append(self.map_pair(read1, read2, name))
-        return results
-
     # -- internals ----------------------------------------------------------
+
+    def _perfect_joint(self, oriented1: np.ndarray,
+                       oriented2: np.ndarray) -> int:
+        """Joint score of an exact pair — each read at its *own* length
+        (reads of a pair need not be equally long)."""
+        return (self.scheme.perfect_score(len(oriented1))
+                + self.scheme.perfect_score(len(oriented2)))
 
     def _oriented_codes(self, read1: np.ndarray, read2: np.ndarray,
                         orientation: str
@@ -269,7 +447,7 @@ class GenPairPipeline:
         """Try light alignment at each joint candidate; keep the best."""
         best = None
         cap = self.config.max_joint_candidates
-        perfect = 2 * self.scheme.perfect_score(len(oriented1))
+        perfect = self._perfect_joint(oriented1, oriented2)
         for cand1, cand2 in joint_candidates[:cap]:
             self.stats.light_attempts += 2
             hit1 = self._light_at(oriented1, cand1)
@@ -303,7 +481,7 @@ class GenPairPipeline:
         best = None
         cap = self.config.max_joint_candidates
         min_score = int(self.config.min_dp_score_fraction
-                        * 2 * self.scheme.perfect_score(len(oriented1)))
+                        * self._perfect_joint(oriented1, oriented2))
         for cand1, cand2 in joint_candidates[:cap]:
             hit1 = self._dp_at(oriented1, cand1)
             if hit1 is None:
@@ -400,3 +578,26 @@ class GenPairPipeline:
                                     read_codes=read2, mate=2)
         return PairResult(name=name, stage=STAGE_UNMAPPED,
                           record1=unmapped1, record2=unmapped2)
+
+
+#: Seedless orientation stand-ins for the batched engine: the per-pair
+#: dataflow only needs the orientation label once queries are
+#: pre-resolved, so every pair shares these two frozen instances.
+_BATCH_ORIENTATIONS = (PairSeeds(read1=(), read2=(), orientation="fr"),
+                       PairSeeds(read1=(), read2=(), orientation="rf"))
+
+#: Fork-inherited state for sharded :meth:`GenPairPipeline.map_batch`:
+#: ``token -> (pipeline, items, chunk_size)`` registered by the parent
+#: just before its worker pool forks (children inherit the snapshot),
+#: removed once the pool is done.
+_FORK_STATE: dict = {}
+_FORK_TOKENS = itertools.count()
+
+
+def _map_shard(shard: Tuple[int, int, int]):
+    """Worker entry: map one shard with fresh per-shard statistics."""
+    token, low, high = shard
+    pipeline, items, chunk_size = _FORK_STATE[token]
+    pipeline.stats = PipelineStats()
+    results = pipeline.map_batch(items[low:high], chunk_size=chunk_size)
+    return results, pipeline.stats

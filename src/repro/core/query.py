@@ -16,7 +16,7 @@ its location range.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -70,3 +70,81 @@ def query_pair(seedmap: SeedMap, read1_seeds: Sequence[Seed],
                ) -> Tuple[QueryResult, QueryResult]:
     """Query both reads of a pair (six seed lookups)."""
     return query_read(seedmap, read1_seeds), query_read(seedmap, read2_seeds)
+
+
+def query_reads_batch(seedmap: SeedMap,
+                      reads_seeds: Sequence[Sequence[Seed]]
+                      ) -> List[QueryResult]:
+    """Resolve many reads' seeds in one vectorized SeedMap probe.
+
+    ``reads_seeds`` holds one seed sequence per read (e.g. the four seeded
+    roles of every pair in a batch, flattened).  All seed hashes are
+    resolved with a single :meth:`SeedMap.query_batch` call, the location
+    gather / implied-read-start conversion / per-read sorted-unique merge
+    run as whole-batch numpy operations, and the returned list contains
+    one :class:`QueryResult` per read, element-wise identical to calling
+    :func:`query_read` on each.
+    """
+    hashes: List[int] = []
+    offsets: List[int] = []
+    groups: List[int] = []
+    for group, seeds in enumerate(reads_seeds):
+        for seed in seeds:
+            hashes.append(seed.hash_value)
+            offsets.append(seed.read_offset)
+            groups.append(group)
+    return query_hash_groups(seedmap,
+                             np.array(hashes, dtype=np.uint64),
+                             np.array(offsets, dtype=np.int64),
+                             np.array(groups, dtype=np.int64),
+                             len(reads_seeds),
+                             [len(seeds) for seeds in reads_seeds])
+
+
+def query_hash_groups(seedmap: SeedMap, hashes: np.ndarray,
+                      offsets: np.ndarray, groups: np.ndarray,
+                      group_count: int,
+                      group_sizes: Sequence[int]) -> List[QueryResult]:
+    """Vectorized core of :func:`query_reads_batch` over flat arrays.
+
+    ``hashes`` / ``offsets`` / ``groups`` are parallel per-seed arrays;
+    ``groups[i]`` assigns seed ``i`` to one of ``group_count`` reads and
+    ``group_sizes[g]`` is the number of seeds queried for group ``g``
+    (its Seed Table access count, even when a seed resolves to nothing).
+    """
+    empty = np.zeros(0, dtype=np.int64)
+    per_group = [empty] * group_count
+    fetched = np.zeros(group_count, dtype=np.int64)
+    hits = np.zeros(group_count, dtype=np.int64)
+    if hashes.size:
+        starts, ends = seedmap.query_batch(hashes)
+        counts = ends - starts
+        np.add.at(fetched, groups, counts)
+        np.add.at(hits, groups, (counts > 0).astype(np.int64))
+        total = int(counts.sum())
+        if total:
+            # Gather every location of every seed into one flat array:
+            # seed i contributes counts[i] consecutive elements.
+            seed_index = np.repeat(np.arange(counts.size), counts)
+            exclusive = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            within = np.arange(total) - exclusive[seed_index]
+            flat = seedmap.location_table[starts[seed_index] + within]
+            candidates = flat - offsets[seed_index]
+            flat_groups = groups[seed_index]
+            order = np.lexsort((candidates, flat_groups))
+            sorted_groups = flat_groups[order]
+            sorted_candidates = candidates[order]
+            keep = np.ones(sorted_candidates.size, dtype=bool)
+            keep[1:] = ((sorted_groups[1:] != sorted_groups[:-1])
+                        | (sorted_candidates[1:] != sorted_candidates[:-1]))
+            sorted_groups = sorted_groups[keep]
+            sorted_candidates = sorted_candidates[keep]
+            bounds = np.searchsorted(sorted_groups,
+                                     np.arange(group_count + 1))
+            per_group = [sorted_candidates[bounds[g]:bounds[g + 1]]
+                         for g in range(group_count)]
+    return [QueryResult(candidates=per_group[g],
+                        seed_hits=int(hits[g]),
+                        locations_fetched=int(fetched[g]),
+                        seed_table_accesses=int(group_sizes[g]))
+            for g in range(group_count)]

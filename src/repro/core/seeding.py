@@ -15,12 +15,12 @@ fragment orientation, which the pipeline tries second).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..genome.sequence import reverse_complement
-from ..hashing import hash_seed
+from ..hashing import hash_reads_batch, hash_seed
 
 
 @dataclass(frozen=True)
@@ -32,6 +32,24 @@ class Seed:
     hash_value: int
 
 
+def seed_offsets(length: int, seed_length: int = 50,
+                 seeds_per_read: int = 3) -> List[int]:
+    """Read offsets of the first / middle / last seed windows.
+
+    Reads shorter than one seed yield no offsets (they always fall back
+    to DP).
+    """
+    if seed_length <= 0:
+        raise ValueError("seed_length must be positive")
+    if length < seed_length:
+        return []
+    count = min(seeds_per_read, length // seed_length)
+    if count == 1:
+        return [0]
+    span = length - seed_length
+    return [round(i * span / (count - 1)) for i in range(count)]
+
+
 def partition_read(codes: np.ndarray, seed_length: int = 50,
                    seeds_per_read: int = 3) -> List[Seed]:
     """Extract ``seeds_per_read`` non-overlapping seeds from one read.
@@ -40,19 +58,8 @@ def partition_read(codes: np.ndarray, seed_length: int = 50,
     of the read; a 150bp read with 50bp seeds tiles exactly.  Reads shorter
     than one seed yield no seeds (they always fall back to DP).
     """
-    length = len(codes)
-    if seed_length <= 0:
-        raise ValueError("seed_length must be positive")
-    if length < seed_length:
-        return []
-    count = min(seeds_per_read, length // seed_length)
-    if count == 1:
-        offsets = [0]
-    else:
-        span = length - seed_length
-        offsets = [round(i * span / (count - 1)) for i in range(count)]
     seeds = []
-    for offset in offsets:
+    for offset in seed_offsets(len(codes), seed_length, seeds_per_read):
         window = codes[offset:offset + seed_length]
         seeds.append(Seed(read_offset=offset, codes=window,
                           hash_value=hash_seed(window)))
@@ -73,6 +80,21 @@ class PairSeeds:
     orientation: str
 
 
+def pair_role_codes(read1_codes: np.ndarray, read2_codes: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                               np.ndarray]:
+    """The four seeded sequences of a pair, in canonical role order.
+
+    Role order is the contract shared by the scalar and batched engines:
+    ``(fr read1, fr read2, rf read1, rf read2)`` — i.e. ``(read1,
+    revcomp(read2), read2, revcomp(read1))``.  Both
+    :func:`partition_pair` and the pipeline's batched chunk seeding
+    derive their seeds from this single definition.
+    """
+    return (read1_codes, reverse_complement(read2_codes),
+            read2_codes, reverse_complement(read1_codes))
+
+
 def partition_pair(read1_codes: np.ndarray, read2_codes: np.ndarray,
                    seed_length: int = 50,
                    seeds_per_read: int = 3) -> List[PairSeeds]:
@@ -82,18 +104,65 @@ def partition_pair(read1_codes: np.ndarray, read2_codes: np.ndarray,
     libraries); the pipeline tries orientations in order and stops at the
     first that maps.
     """
-    read2_rc = reverse_complement(read2_codes)
-    read1_rc = reverse_complement(read1_codes)
+    fr1, fr2, rf1, rf2 = pair_role_codes(read1_codes, read2_codes)
     fr = PairSeeds(
-        read1=tuple(partition_read(read1_codes, seed_length,
-                                   seeds_per_read)),
-        read2=tuple(partition_read(read2_rc, seed_length, seeds_per_read)),
+        read1=tuple(partition_read(fr1, seed_length, seeds_per_read)),
+        read2=tuple(partition_read(fr2, seed_length, seeds_per_read)),
         orientation="fr",
     )
     rf = PairSeeds(
-        read1=tuple(partition_read(read2_codes, seed_length,
-                                   seeds_per_read)),
-        read2=tuple(partition_read(read1_rc, seed_length, seeds_per_read)),
+        read1=tuple(partition_read(rf1, seed_length, seeds_per_read)),
+        read2=tuple(partition_read(rf2, seed_length, seeds_per_read)),
         orientation="rf",
     )
     return [fr, rf]
+
+
+def partition_pairs_batch(read_pairs: Sequence[Tuple[np.ndarray,
+                                                     np.ndarray]],
+                          seed_length: int = 50,
+                          seeds_per_read: int = 3
+                          ) -> List[List[PairSeeds]]:
+    """Vectorized :func:`partition_pair` over a whole batch of pairs.
+
+    Extracts the seed windows of every pair in both fragment orientations
+    and hashes them with a single :func:`repro.hashing.hash_reads_batch`
+    call, so the per-pair Python work is only window slicing.  Returns one
+    ``[fr, rf]`` orientation list per input pair, element-wise identical
+    (same offsets, codes, and hash values) to calling
+    :func:`partition_pair` on each pair.
+    """
+    windows: List[np.ndarray] = []
+    roles_per_pair: List[Tuple[Tuple[np.ndarray, List[int]], ...]] = []
+    for read1_codes, read2_codes in read_pairs:
+        roles = []
+        for codes in pair_role_codes(read1_codes, read2_codes):
+            offsets = seed_offsets(len(codes), seed_length, seeds_per_read)
+            roles.append((codes, offsets))
+            for offset in offsets:
+                windows.append(codes[offset:offset + seed_length])
+        roles_per_pair.append(tuple(roles))
+    if windows:
+        hashes = hash_reads_batch(np.stack(windows))
+    else:
+        hashes = np.zeros(0, dtype=np.uint64)
+
+    result: List[List[PairSeeds]] = []
+    cursor = 0
+    for roles in roles_per_pair:
+        role_seeds: List[Tuple[Seed, ...]] = []
+        for codes, offsets in roles:
+            seeds = []
+            for offset in offsets:
+                seeds.append(Seed(read_offset=offset,
+                                  codes=codes[offset:offset + seed_length],
+                                  hash_value=int(hashes[cursor])))
+                cursor += 1
+            role_seeds.append(tuple(seeds))
+        result.append([
+            PairSeeds(read1=role_seeds[0], read2=role_seeds[1],
+                      orientation="fr"),
+            PairSeeds(read1=role_seeds[2], read2=role_seeds[3],
+                      orientation="rf"),
+        ])
+    return result

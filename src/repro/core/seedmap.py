@@ -18,12 +18,19 @@ bounds the hardware FIFO depth.
 Construction is fully vectorized: one xxHash per reference position via
 :func:`repro.hashing.xxhash32_rows`, then a single argsort groups equal
 hashes so each seed's locations are contiguous and sorted.
+
+The Seed Table itself is array-backed — three parallel arrays (sorted
+hash keys, range starts, range ends) — so a single lookup is one
+``np.searchsorted`` probe and, crucially, a whole *batch* of seed hashes
+resolves in one vectorized :meth:`SeedMap.query_batch` call.  This
+mirrors the hardware, where the Seed Table is a flat sorted structure
+streamed by NMSL rather than a pointer-chasing dictionary.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -69,14 +76,21 @@ class SeedMapStats:
 
 
 class SeedMap:
-    """Hash index from 50bp seeds to sorted reference locations."""
+    """Hash index from 50bp seeds to sorted reference locations.
+
+    The Seed Table is stored as three parallel arrays: ``hash_keys``
+    (ascending, distinct), ``range_starts`` and ``range_ends`` (the
+    ``[start, end)`` Location Table span of each key).
+    """
 
     def __init__(self, seed_length: int, locations: np.ndarray,
-                 ranges: Dict[int, Tuple[int, int]],
-                 stats: SeedMapStats) -> None:
+                 hash_keys: np.ndarray, range_starts: np.ndarray,
+                 range_ends: np.ndarray, stats: SeedMapStats) -> None:
         self.seed_length = seed_length
         self._locations = locations
-        self._ranges = ranges
+        self._hash_keys = np.asarray(hash_keys, dtype=np.uint64)
+        self._range_starts = np.asarray(range_starts, dtype=np.int64)
+        self._range_ends = np.asarray(range_ends, dtype=np.int64)
         self.stats = stats
 
     # -- construction --------------------------------------------------
@@ -114,8 +128,10 @@ class SeedMap:
             position_chunks.append(starts)
         if not hash_chunks:
             empty_stats = SeedMapStats(0, 0, 0, 0, 0, 0)
-            return cls(seed_length, np.zeros(0, dtype=np.int64), {},
-                       empty_stats)
+            return cls(seed_length, np.zeros(0, dtype=np.int64),
+                       np.zeros(0, dtype=np.uint64),
+                       np.zeros(0, dtype=np.int64),
+                       np.zeros(0, dtype=np.int64), empty_stats)
         all_hashes = np.concatenate(hash_chunks)
         all_positions = np.concatenate(position_chunks)
         order = np.lexsort((all_positions, all_hashes))
@@ -134,31 +150,36 @@ class SeedMap:
         filtered_seeds = int(np.count_nonzero(~keep))
         filtered_locations = int(group_sizes[~keep].sum())
 
-        ranges: Dict[int, Tuple[int, int]] = {}
-        kept_chunks = []
-        cursor = 0
-        for start, end, keep_flag in zip(group_starts.tolist(),
-                                         group_ends.tolist(),
-                                         keep.tolist()):
-            if not keep_flag:
-                continue
-            size = end - start
-            ranges[int(sorted_hashes[start])] = (cursor, cursor + size)
-            kept_chunks.append(sorted_positions[start:end])
-            cursor += size
-        locations = (np.concatenate(kept_chunks)
-                     if kept_chunks else np.zeros(0, dtype=np.int64))
+        kept_sizes = group_sizes[keep]
+        hash_keys = sorted_hashes[group_starts[keep]]
+        range_ends = np.cumsum(kept_sizes, dtype=np.int64)
+        range_starts = range_ends - kept_sizes
+        locations = sorted_positions[np.repeat(keep, group_sizes)]
         stats = SeedMapStats(
             total_positions=len(all_hashes),
-            distinct_seeds=len(ranges),
+            distinct_seeds=int(hash_keys.size),
             stored_locations=int(locations.size),
             filtered_seeds=filtered_seeds,
             filtered_locations=filtered_locations,
-            max_locations=int(group_sizes[keep].max()) if keep.any() else 0,
+            max_locations=int(kept_sizes.max()) if keep.any() else 0,
         )
-        return cls(seed_length, locations, ranges, stats)
+        return cls(seed_length, locations, hash_keys, range_starts,
+                   range_ends, stats)
 
     # -- querying --------------------------------------------------------
+
+    def _find(self, seed_hash: int) -> int:
+        """Seed Table index of a hash, or -1 when absent."""
+        keys = self._hash_keys
+        if keys.size == 0:
+            return -1
+        value = int(seed_hash)
+        if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
+            return -1
+        index = int(np.searchsorted(keys, np.uint64(value)))
+        if index < keys.size and int(keys[index]) == value:
+            return index
+        return -1
 
     def query(self, seed_hash: int) -> np.ndarray:
         """Sorted reference locations of one seed hash (a view; may be empty).
@@ -166,19 +187,56 @@ class SeedMap:
         This is the §4.4 lookup: one Seed Table access resolving to one
         contiguous, already-sorted Location Table range.
         """
-        span = self._ranges.get(int(seed_hash))
-        if span is None:
+        index = self._find(seed_hash)
+        if index < 0:
             return self._locations[:0]
-        start, end = span
-        return self._locations[start:end]
+        return self._locations[self._range_starts[index]:
+                               self._range_ends[index]]
+
+    def query_batch(self, seed_hashes: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Resolve a whole batch of seed hashes in one vectorized probe.
+
+        Returns ``(starts, ends)`` — for each input hash, the ``[start,
+        end)`` span of its locations in :attr:`location_table`; absent
+        hashes get an empty span (``start == end == 0``).  One
+        ``np.searchsorted`` over the sorted key array replaces one dict
+        probe per seed, which is what lets the batched pipeline resolve
+        every seed of every pair in a chunk at once.
+        """
+        seed_hashes = np.asarray(seed_hashes, dtype=np.uint64)
+        keys = self._hash_keys
+        if keys.size == 0 or seed_hashes.size == 0:
+            zeros = np.zeros(seed_hashes.shape, dtype=np.int64)
+            return zeros, zeros.copy()
+        index = np.searchsorted(keys, seed_hashes)
+        clipped = np.minimum(index, keys.size - 1)
+        found = keys[clipped] == seed_hashes
+        starts = np.where(found, self._range_starts[clipped], 0)
+        ends = np.where(found, self._range_ends[clipped], 0)
+        return starts, ends
+
+    @property
+    def location_table(self) -> np.ndarray:
+        """The flat Location Table (global linear coordinates)."""
+        return self._locations
 
     def __contains__(self, seed_hash: int) -> bool:
-        return int(seed_hash) in self._ranges
+        return self._find(seed_hash) >= 0
 
     def location_count(self, seed_hash: int) -> int:
         """Number of stored locations for a seed hash (0 if absent)."""
-        span = self._ranges.get(int(seed_hash))
-        return 0 if span is None else span[1] - span[0]
+        index = self._find(seed_hash)
+        if index < 0:
+            return 0
+        return int(self._range_ends[index] - self._range_starts[index])
+
+    def iter_ranges(self):
+        """Yield ``(hash, start, end)`` for every Seed Table entry."""
+        for index in range(self._hash_keys.size):
+            yield (int(self._hash_keys[index]),
+                   int(self._range_starts[index]),
+                   int(self._range_ends[index]))
 
     @property
     def memory_bytes(self) -> int:

@@ -84,6 +84,17 @@ class ReferenceGenome:
         self._chromosome(name)
         return self._offsets[name]
 
+    def linear_starts(self) -> np.ndarray:
+        """Sorted global start offset of every chromosome.
+
+        ``np.searchsorted(starts, pos, side="right") - 1`` maps a linear
+        coordinate to its chromosome index — the vectorized counterpart
+        of :meth:`from_linear`, used by paired-adjacency filtering to
+        reject joint candidates spanning a chromosome boundary.
+        """
+        return np.array([self._offsets[name] for name in self._names],
+                        dtype=np.int64)
+
     def to_linear(self, name: str, position: int) -> int:
         """Convert ``(chromosome, position)`` to a global coordinate."""
         if not 0 <= position <= self.length(name):

@@ -1,9 +1,10 @@
 """Hashing substrate: spec-exact xxHash32 and seed-hashing helpers."""
 
-from .seeds import (DEFAULT_SEED_LENGTH, hash_reference_windows, hash_seed,
-                    hash_seeds)
+from .seeds import (DEFAULT_SEED_LENGTH, hash_reads_batch,
+                    hash_reference_windows, hash_seed, hash_seeds)
 from .vectorized import pack_rows_2bit, xxhash32_rows
 from .xxhash32 import xxhash32
 
-__all__ = ["DEFAULT_SEED_LENGTH", "hash_reference_windows", "hash_seed",
-           "hash_seeds", "pack_rows_2bit", "xxhash32", "xxhash32_rows"]
+__all__ = ["DEFAULT_SEED_LENGTH", "hash_reads_batch",
+           "hash_reference_windows", "hash_seed", "hash_seeds",
+           "pack_rows_2bit", "xxhash32", "xxhash32_rows"]

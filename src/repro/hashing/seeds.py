@@ -30,6 +30,30 @@ def hash_seeds(seed_windows: Iterable[np.ndarray], seed: int = 0
     return [hash_seed(window, seed=seed) for window in seed_windows]
 
 
+def hash_reads_batch(windows: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Hash a batch of equal-length seed windows in one vectorized call.
+
+    ``windows`` is a ``(count, seed_length)`` array of base codes — e.g.
+    all six seeds of every read-pair in a batch, stacked row-wise.  Row
+    ``i`` of the returned ``uint64`` array is bit-identical to
+    ``hash_seed(windows[i], seed=seed)``; this is the online counterpart
+    of :func:`hash_reference_windows` and the entry point of the batched
+    mapping engine (one ``xxhash32_rows`` call replaces thousands of
+    scalar xxHash evaluations).
+    """
+    windows = np.ascontiguousarray(windows, dtype=np.uint8)
+    if windows.ndim != 2:
+        raise ValueError("hash_reads_batch expects a (count, length) array")
+    if windows.size == 0:
+        return np.zeros(windows.shape[0], dtype=np.uint64)
+    if windows.max(initial=0) >= ALPHABET_SIZE:
+        raise ValueError("seed windows must be concrete bases")
+    from .vectorized import pack_rows_2bit, xxhash32_rows
+
+    packed = pack_rows_2bit(windows)
+    return xxhash32_rows(packed, seed=seed).astype(np.uint64)
+
+
 def hash_reference_windows(codes: np.ndarray, seed_length: int,
                            step: int = 1, seed: int = 0) -> np.ndarray:
     """Hash every window of ``codes`` of ``seed_length`` at ``step`` stride.

@@ -69,3 +69,62 @@ class TestFilterAdjacent:
                               np.arange(500, 100_500, 1000,
                                         dtype=np.int64), delta=100)
         assert big.iterations > small.iterations * 10
+
+
+class TestIterationAccounting:
+    """The emit scan must not re-count the element the outer two-pointer
+    step already compared (it used to, inflating the §7.2 sizing input)."""
+
+    def test_single_emit_costs_one_comparison(self):
+        result = filter_adjacent(arr(1000), arr(1200), delta=500)
+        assert result.pairs == ((1000, 1200),)
+        assert result.iterations == 1
+
+    def test_one_to_many_counts_extra_scans_only(self):
+        # Outer comparison at (1000, 1100) = 1, then two further scan
+        # comparisons at 1200 and 1400; the scan's first element is the
+        # one the outer step just compared.
+        result = filter_adjacent(arr(1000), arr(1100, 1200, 1400),
+                                 delta=500)
+        assert len(result.pairs) == 3
+        assert result.iterations == 3
+
+    def test_two_pointer_advance_counts(self):
+        # (1000,5000): gap>delta, advance i (1 iteration); (4800,5000):
+        # emit (1 iteration), no extra in-range scan elements.
+        result = filter_adjacent(arr(1000, 4800), arr(5000), delta=500)
+        assert result.pairs == ((4800, 5000),)
+        assert result.iterations == 2
+
+    def test_no_match_pure_pointer_walk(self):
+        result = filter_adjacent(arr(1000, 2000), arr(9000, 9500),
+                                 delta=100)
+        assert not result.passed
+        assert result.iterations == 2
+
+
+class TestChromosomeBoundaries:
+    def test_cross_boundary_candidate_rejected(self):
+        # Chromosome 2 starts at linear 1000: positions 990 and 1010 are
+        # 20 apart in linear space but on different chromosomes.
+        boundaries = np.array([0, 1000], dtype=np.int64)
+        result = filter_adjacent(arr(990), arr(1010), delta=500,
+                                 boundaries=boundaries)
+        assert not result.passed
+
+    def test_same_chromosome_candidate_kept(self):
+        boundaries = np.array([0, 1000], dtype=np.int64)
+        result = filter_adjacent(arr(1010), arr(1200), delta=500,
+                                 boundaries=boundaries)
+        assert result.pairs == ((1010, 1200),)
+
+    def test_mixed_candidates_filtered_individually(self):
+        boundaries = np.array([0, 1000], dtype=np.int64)
+        result = filter_adjacent(arr(900), arr(950, 1010), delta=500,
+                                 boundaries=boundaries)
+        assert result.pairs == ((900, 950),)
+
+    def test_without_boundaries_cross_pair_survives(self):
+        # Documents the raw linear-distance semantics the fix guards.
+        result = filter_adjacent(arr(990), arr(1010), delta=500)
+        assert result.passed

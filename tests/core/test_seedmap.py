@@ -24,8 +24,8 @@ class TestBuild:
             assert pos in locations.tolist()
 
     def test_locations_sorted(self, seedmap):
-        for span in list(seedmap._ranges.values())[:200]:
-            locations = seedmap._locations[span[0]:span[1]]
+        for _, start, end in list(seedmap.iter_ranges())[:200]:
+            locations = seedmap.location_table[start:end]
             assert np.all(np.diff(locations) >= 0)
 
     def test_absent_hash_empty(self, plain_seedmap):
@@ -45,6 +45,29 @@ class TestBuild:
         locations = seedmap.query(hash_seed(seed))
         expected = small_reference.to_linear("chr2", pos)
         assert expected in locations.tolist()
+
+
+class TestQueryBatch:
+    def test_batch_spans_match_scalar_query(self, plain_reference,
+                                            plain_seedmap):
+        rng = np.random.default_rng(8)
+        hashes = []
+        for _ in range(25):
+            pos = int(rng.integers(0, plain_reference.length("chr1") - 50))
+            seed = plain_reference.fetch("chr1", pos, pos + 50)
+            hashes.append(hash_seed(seed))
+        hashes.append(2**33)  # guaranteed absent
+        starts, ends = plain_seedmap.query_batch(
+            np.array(hashes, dtype=np.uint64))
+        for value, start, end in zip(hashes, starts, ends):
+            scalar = plain_seedmap.query(value)
+            batch = plain_seedmap.location_table[start:end]
+            assert np.array_equal(batch, scalar)
+
+    def test_empty_batch(self, plain_seedmap):
+        starts, ends = plain_seedmap.query_batch(
+            np.zeros(0, dtype=np.uint64))
+        assert starts.size == 0 and ends.size == 0
 
 
 class TestFiltering:

@@ -113,7 +113,7 @@ class TestGeneration:
         # sees) should land in the high-single-digit range (Obs 2 ~9.6).
         total = seedmap.stats.stored_locations
         weighted = 0
-        for span in seedmap._ranges.values():
-            size = span[1] - span[0]
+        for _, start, end in seedmap.iter_ranges():
+            size = end - start
             weighted += size * size
         assert 4.0 < weighted / total < 25.0

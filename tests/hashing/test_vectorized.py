@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.genome import pack_2bit, random_sequence
-from repro.hashing import (hash_reference_windows, hash_seed,
-                           pack_rows_2bit, xxhash32, xxhash32_rows)
+from repro.hashing import (hash_reads_batch, hash_reference_windows,
+                           hash_seed, pack_rows_2bit, xxhash32,
+                           xxhash32_rows)
 
 
 class TestVectorizedEquivalence:
@@ -37,6 +38,26 @@ class TestPackRows:
         packed = pack_rows_2bit(windows)
         for i in range(16):
             assert packed[i].tobytes() == pack_2bit(windows[i])
+
+
+class TestHashReadsBatch:
+    def test_matches_hash_seed(self):
+        rng = np.random.default_rng(7)
+        windows = np.stack([random_sequence(rng, 50) for _ in range(64)])
+        hashes = hash_reads_batch(windows)
+        assert hashes.dtype == np.uint64
+        for i in range(64):
+            assert int(hashes[i]) == hash_seed(windows[i])
+
+    def test_empty_batch(self):
+        assert hash_reads_batch(
+            np.zeros((0, 50), dtype=np.uint8)).size == 0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            hash_reads_batch(np.zeros(50, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            hash_reads_batch(np.full((2, 50), 4, dtype=np.uint8))
 
 
 class TestReferenceWindows:

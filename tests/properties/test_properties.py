@@ -163,3 +163,26 @@ class TestFilterProperties:
         candidates = np.array(sorted(set(values)), dtype=np.int64)
         result = filter_adjacent(candidates, candidates, delta=100)
         assert result.passed
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10**6),
+                    max_size=30),
+           st.lists(st.integers(min_value=0, max_value=10**6),
+                    max_size=30),
+           st.lists(st.integers(min_value=1, max_value=10**6),
+                    min_size=1, max_size=5),
+           st.integers(min_value=1, max_value=1000))
+    def test_no_joint_candidate_spans_chromosomes(self, list1, list2,
+                                                  starts, delta):
+        """With chromosome boundaries supplied, every emitted joint
+        candidate resolves both positions to the same chromosome."""
+        c1 = np.array(sorted(set(list1)), dtype=np.int64)
+        c2 = np.array(sorted(set(list2)), dtype=np.int64)
+        boundaries = np.array(sorted({0, *starts}), dtype=np.int64)
+        result = filter_adjacent(c1, c2, delta=delta,
+                                 boundaries=boundaries)
+        for pos1, pos2 in result.pairs:
+            chrom1 = np.searchsorted(boundaries, pos1, side="right")
+            chrom2 = np.searchsorted(boundaries, pos2, side="right")
+            assert chrom1 == chrom2
+            assert -30 <= pos2 - pos1 <= delta

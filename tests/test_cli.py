@@ -40,6 +40,17 @@ class TestWorkflow:
                 if not line.startswith("@")]
         assert len(body) == 160
 
+        # Per-pair engine (--batch-size 0) and sharded batch mode write
+        # the same records as the default batched engine.
+        for suffix, extra in (("perpair", ["--batch-size", "0"]),
+                              ("workers", ["--workers", "2"])):
+            alt_path = str(tmp_path / f"out_{suffix}.sam")
+            assert main(["map", "--reference", prefix + "_ref.fa",
+                         "--reads1", prefix + "_1.fq",
+                         "--reads2", prefix + "_2.fq",
+                         "--out", alt_path, "--no-fallback"] + extra) == 0
+            assert open(alt_path).read() == open(sam_path).read()
+
         vcf_path = str(tmp_path / "calls.vcf")
         assert main(["call", "--reference", prefix + "_ref.fa",
                      "--sam", sam_path, "--out", vcf_path]) == 0

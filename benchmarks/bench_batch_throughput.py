@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 
 import numpy as np
-from conftest import emit
+from conftest import emit, result_signature
 
 from repro.core import GenPairPipeline, SeedMap
 from repro.genome import ErrorModel, ReadSimulator, generate_reference
@@ -44,21 +44,6 @@ def _throughput(reference, seedmap, pairs, runner,
         runner(pipeline, pairs)
         best = min(best, time.perf_counter() - start)
     return len(pairs) / best
-
-
-def _record_signature(record):
-    return (record.query_name, record.chromosome, record.position,
-            record.strand, record.mapq, str(record.cigar), record.score,
-            record.mate, record.mapped, record.method,
-            record.mate_chromosome, record.mate_position,
-            record.mate_strand, record.template_length,
-            record.proper_pair)
-
-
-def _result_signature(result):
-    return (result.name, result.stage, result.orientation,
-            result.joint_score, _record_signature(result.record1),
-            _record_signature(result.record2))
 
 
 def test_batch_throughput(bench_reference, bench_seedmap, bench_datasets):
@@ -104,8 +89,8 @@ def test_batch_throughput(bench_reference, bench_seedmap, bench_datasets):
     batched = GenPairPipeline(reference, seedmap=seedmap)
     seq_results = sequential.map_pairs(pairs)
     bat_results = batched.map_batch(pairs, chunk_size=256)
-    assert ([_result_signature(r) for r in seq_results]
-            == [_result_signature(r) for r in bat_results])
+    assert ([result_signature(r) for r in seq_results]
+            == [result_signature(r) for r in bat_results])
     assert sequential.stats == batched.stats
 
     emit("batch_throughput", format_table(

@@ -30,6 +30,23 @@ def emit(name: str, text: str) -> None:
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def record_signature(record):
+    """Every observable field of an AlignmentRecord, as a tuple."""
+    return (record.query_name, record.chromosome, record.position,
+            record.strand, record.mapq, str(record.cigar), record.score,
+            record.mate, record.mapped, record.method,
+            record.mate_chromosome, record.mate_position,
+            record.mate_strand, record.template_length,
+            record.proper_pair)
+
+
+def result_signature(result):
+    """Full-field signature of a PairResult, for bit-identity asserts."""
+    return (result.name, result.stage, result.orientation,
+            result.joint_score, record_signature(result.record1),
+            record_signature(result.record2))
+
+
 @pytest.fixture(scope="session")
 def bench_reference():
     """Repeat-rich reference calibrated for Observation 2 statistics."""

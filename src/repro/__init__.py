@@ -13,6 +13,10 @@ Public API layout:
   which hashes a whole chunk's seeds in one vectorized call, resolves
   them against the array-backed SeedMap in one probe, and optionally
   shards chunks across forked workers (``workers=N``);
+* :mod:`repro.index` — persistent memory-mapped SeedMap indexes: one
+  ``repro index build`` serializes the SeedMap + encoded reference to a
+  versioned binary file that ``repro map --index`` memory-maps back in
+  milliseconds, with forked workers sharing one physical copy;
 * :mod:`repro.hw` — the GenPairX hardware model (NMSL, sizing, costs);
 * :mod:`repro.filters` — pre-alignment filter baselines (SHD,
   GateKeeper, FastHASH adjacency, exact match);
@@ -21,9 +25,9 @@ Public API layout:
 """
 
 from . import align, analysis, core, filters, genome, hashing, hw, \
-    mapper, util, variants
+    index, mapper, util, variants
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["align", "analysis", "core", "filters", "genome", "hashing",
-           "hw", "mapper", "util", "variants", "__version__"]
+           "hw", "index", "mapper", "util", "variants", "__version__"]

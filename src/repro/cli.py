@@ -2,19 +2,26 @@
 
 Subcommands mirror a real read-mapping toolchain:
 
-* ``simulate`` — generate a synthetic reference (FASTA), a diploid donor
-  truth set (VCF), and paired-end reads (FASTQ x2);
-* ``map``      — map paired FASTQ files against a FASTA reference with
-  the GenPair pipeline (plus optional MM2 fallback) and write SAM; the
-  batched engine is on by default (``--batch-size``, ``--workers``);
-* ``call``     — pile up a SAM file and call variants to VCF;
-* ``design``   — compose the GenPairX + GenDP hardware design and print
-  the Table 3/4/5-style report.
+* ``simulate``      — generate a synthetic reference (FASTA), a diploid
+  donor truth set (VCF), and paired-end reads (FASTQ x2);
+* ``index build``   — precompute the SeedMap + encoded reference into a
+  persistent memory-mapped index file (the ``bowtie2-build`` split);
+* ``index inspect`` — print an index's fingerprint, tables, checksums;
+* ``map``           — map paired FASTQ files with the GenPair pipeline
+  (plus optional MM2 fallback) and write SAM; reads stream through in
+  O(batch) memory, the batched engine is on by default
+  (``--batch-size``, ``--workers``), and ``--index`` serves from a
+  prebuilt index instead of rebuilding the SeedMap from FASTA;
+* ``call``          — pile up a SAM file and call variants to VCF;
+* ``design``        — compose the GenPairX + GenDP hardware design and
+  print the Table 3/4/5-style report.
 
 Example::
 
     python -m repro.cli simulate --out demo --pairs 500
-    python -m repro.cli map --reference demo_ref.fa \
+    python -m repro.cli index build --reference demo_ref.fa \
+        --out demo.rpix
+    python -m repro.cli map --index demo.rpix \
         --reads1 demo_1.fq --reads2 demo_2.fq --out demo.sam
     python -m repro.cli call --reference demo_ref.fa --sam demo.sam \
         --out demo.vcf
@@ -57,43 +64,92 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _read_pairs(reads1: str, reads2: str):
-    from .genome import read_fastq
+def _lazy_full_fallback(reference):
+    """Full-DP fallback that defers the O(genome) minimizer-index build
+    until the first pair actually needs it, so a ``map --index`` run
+    whose pairs all stay on the GenPair path keeps mmap-cheap startup."""
+    from .mapper import Mm2LikeMapper, make_full_fallback
 
-    pairs = []
-    for (name1, codes1), (name2, codes2) in zip(read_fastq(reads1),
-                                                read_fastq(reads2)):
-        name = name1.rsplit("/", 1)[0]
-        pairs.append((codes1, codes2, name))
-    return pairs
+    state = {}
+
+    def fallback(read1, read2, name):
+        if "fn" not in state:
+            state["fn"] = make_full_fallback(Mm2LikeMapper(reference))
+        return state["fn"](read1, read2, name)
+
+    return fallback
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    from .core import GenPairConfig, GenPairPipeline
-    from .genome import read_fasta, write_sam
+    from .core import (DEFAULT_FILTER_THRESHOLD, GenPairConfig,
+                       GenPairPipeline)
+    from .genome import FastaError, SamWriter, iter_pairs, read_fasta
+    from .index import IndexFormatError
     from .mapper import Mm2LikeMapper, make_full_fallback
 
-    reference = read_fasta(args.reference)
-    pairs = _read_pairs(args.reads1, args.reads2)
+    if (args.index is None) == (args.reference is None):
+        print("error: map needs exactly one of --reference or --index",
+              file=sys.stderr)
+        return 2
+    if args.index is not None:
+        from .index import open_index
+
+        # The fingerprint gate: an explicit --filter-threshold that
+        # disagrees with what the index was built with is rejected.
+        expectations = {}
+        if args.filter_threshold is not None:
+            expectations["expect_filter_threshold"] = args.filter_threshold
+        try:
+            index = open_index(args.index, verify=not args.no_verify,
+                               **expectations)
+        except IndexFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        reference = index.reference
+        seedmap = index.seedmap
+        config = GenPairConfig(seed_length=index.seed_length,
+                               delta=args.delta,
+                               filter_threshold=index.filter_threshold)
+    else:
+        reference = read_fasta(args.reference)
+        seedmap = None
+        threshold = (args.filter_threshold
+                     if args.filter_threshold is not None
+                     else DEFAULT_FILTER_THRESHOLD)
+        config = GenPairConfig(delta=args.delta,
+                               filter_threshold=threshold)
     fallback = None
     if not args.no_fallback:
-        fallback = make_full_fallback(Mm2LikeMapper(reference))
-    config = GenPairConfig(delta=args.delta,
-                           filter_threshold=args.filter_threshold)
-    pipeline = GenPairPipeline(reference, config=config,
+        if args.batch_size > 0 and args.workers > 1:
+            # Forked shards inherit a pre-fork build copy-on-write;
+            # building lazily would make every worker rebuild it.
+            fallback = make_full_fallback(Mm2LikeMapper(reference))
+        else:
+            fallback = _lazy_full_fallback(reference)
+    pipeline = GenPairPipeline(reference, seedmap=seedmap, config=config,
                                full_fallback=fallback)
+    # Reader chunking follows the batch size so `--batch-size 16`
+    # really does bound buffered pairs at 16, not the reader default.
+    pairs = iter_pairs(args.reads1, args.reads2,
+                       chunk_size=args.batch_size
+                       if args.batch_size > 0 else None)
     if args.batch_size > 0:
-        results = pipeline.map_batch(pairs, chunk_size=args.batch_size,
-                                     workers=args.workers)
+        results = pipeline.map_stream(pairs, chunk_size=args.batch_size,
+                                      workers=args.workers)
     else:
         if args.workers > 1:
             print("note: --workers requires the batched engine; "
                   "ignored with --batch-size 0", file=sys.stderr)
-        results = pipeline.map_pairs(pairs)
-    records = []
-    for result in results:
-        records.extend([result.record1, result.record2])
-    count = write_sam(args.out, records, reference=reference)
+        results = (pipeline.map_pair(read1, read2, name)
+                   for read1, read2, name in pairs)
+    try:
+        with SamWriter(args.out, reference=reference) as writer:
+            for result in results:
+                writer.write_pair(result)
+            count = writer.count
+    except FastaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     stats = pipeline.stats
     print(f"mapped {stats.pairs_total} pairs -> {count} records "
           f"({args.out})")
@@ -102,6 +158,65 @@ def _cmd_map(args: argparse.Namespace) -> int:
           f"full fallback "
           f"{stats.seedmap_fallback_pct + stats.filter_fallback_pct:.1f}%"
           f" | unmapped {stats.unmapped}")
+    return 0
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    import time
+
+    from .core import SeedMap
+    from .genome import read_fasta
+    from .index import INDEX_SUFFIX, save_index
+
+    reference = read_fasta(args.reference)
+    threshold = None if args.no_filter else args.filter_threshold
+    start = time.perf_counter()
+    seedmap = SeedMap.build(reference, seed_length=args.seed_length,
+                            filter_threshold=threshold, step=args.step)
+    build_seconds = time.perf_counter() - start
+    out = args.out if args.out else args.reference + INDEX_SUFFIX
+    total = save_index(out, seedmap, reference)
+    stats = seedmap.stats
+    print(f"indexed {reference.total_length:,} bp "
+          f"({len(reference.names)} chromosomes) in {build_seconds:.2f}s")
+    print(f"  {stats.distinct_seeds:,} seeds, "
+          f"{stats.stored_locations:,} locations "
+          f"({stats.filtered_seeds:,} seeds over threshold dropped)")
+    print(f"wrote {out} ({total:,} bytes)")
+    return 0
+
+
+def _cmd_index_inspect(args: argparse.Namespace) -> int:
+    from .index import IndexFormatError, inspect_index
+    from .util import format_table
+
+    try:
+        report = inspect_index(args.index, verify=not args.no_verify)
+    except IndexFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    meta = report["meta"]
+    reference = meta["reference"]
+    threshold = meta["filter_threshold"]
+    print(f"{report['path']}: SeedMap index "
+          f"(format v{meta['format_version']}, "
+          f"{report['file_bytes']:,} bytes)")
+    print(f"  fingerprint: seed length {meta['seed_length']}, filter "
+          f"threshold {'none' if threshold is None else threshold}, "
+          f"step {meta['step']}")
+    print(f"  reference: {reference['total_length']:,} bp in "
+          f"{len(reference['names'])} chromosomes "
+          f"({', '.join(reference['names'][:6])}"
+          f"{', ...' if len(reference['names']) > 6 else ''})")
+    checks = ("ok" if report["checksums_ok"]
+              else "skipped (--no-verify)")
+    print(f"  checksums: {checks}")
+    print(format_table(
+        ("array", "dtype", "entries", "bytes", "crc32"),
+        [(row["name"], row["dtype"], f"{row['count']:,}",
+          f"{row['bytes']:,}", f"{row['crc32']:08x}")
+         for row in report["arrays"]],
+        title="Data sections"))
     return 0
 
 
@@ -200,13 +315,52 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.set_defaults(func=_cmd_simulate)
 
+    index_cmd = sub.add_parser(
+        "index", help="build / inspect a persistent SeedMap index")
+    index_sub = index_cmd.add_subparsers(dest="index_command",
+                                         required=True)
+    index_build = index_sub.add_parser(
+        "build", help="precompute SeedMap + reference to an index file")
+    index_build.add_argument("--reference", required=True)
+    index_build.add_argument("--out", default=None,
+                             help="output path (default: "
+                                  "<reference>.rpix)")
+    index_build.add_argument("--seed-length", type=int, default=50)
+    index_build.add_argument("--filter-threshold", type=int, default=500)
+    index_build.add_argument("--no-filter", action="store_true",
+                             help="keep every seed (Table 7 'no filter' "
+                                  "configuration)")
+    index_build.add_argument("--step", type=int, default=1,
+                             help="stride between indexed reference "
+                                  "positions")
+    index_build.set_defaults(func=_cmd_index_build)
+    index_inspect = index_sub.add_parser(
+        "inspect", help="print an index's fingerprint and tables")
+    index_inspect.add_argument("--index", required=True)
+    index_inspect.add_argument("--no-verify", action="store_true",
+                               help="skip array checksum verification")
+    index_inspect.set_defaults(func=_cmd_index_inspect)
+
     map_cmd = sub.add_parser("map", help="map paired FASTQ to SAM")
-    map_cmd.add_argument("--reference", required=True)
+    map_cmd.add_argument("--reference",
+                         help="FASTA reference (SeedMap is rebuilt per "
+                              "run; use --index to skip that)")
+    map_cmd.add_argument("--index",
+                         help="persistent index from `repro index "
+                              "build`; memory-mapped, so opening is "
+                              "cheap and forked workers share it")
+    map_cmd.add_argument("--no-verify", action="store_true",
+                         help="with --index: skip array checksum "
+                              "verification (the trusted-file reopen "
+                              "fast path; opening is then O(header))")
     map_cmd.add_argument("--reads1", required=True)
     map_cmd.add_argument("--reads2", required=True)
     map_cmd.add_argument("--out", default="out.sam")
     map_cmd.add_argument("--delta", type=int, default=500)
-    map_cmd.add_argument("--filter-threshold", type=int, default=500)
+    map_cmd.add_argument("--filter-threshold", type=int, default=None,
+                         help="index filtering threshold (default 500); "
+                              "with --index it must match the index "
+                              "fingerprint")
     map_cmd.add_argument("--no-fallback", action="store_true",
                          help="disable the MM2 full-DP fallback")
     map_cmd.add_argument("--batch-size", type=int, default=256,

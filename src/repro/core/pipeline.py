@@ -32,8 +32,11 @@ Two execution engines share the exact same per-pair decision logic:
 from __future__ import annotations
 
 import itertools
+import os
+import sys
 from dataclasses import dataclass, fields
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, \
+    Sequence, Tuple
 
 import numpy as np
 
@@ -230,6 +233,41 @@ class GenPairPipeline:
             results.extend(self._map_chunk(items[start:start + chunk_size]))
         return results
 
+    def map_stream(self, pairs: Iterable,
+                   chunk_size: int = DEFAULT_BATCH_SIZE,
+                   workers: Optional[int] = None
+                   ) -> Iterator[PairResult]:
+        """Map a lazy pair stream, yielding results as chunks finish.
+
+        The streaming face of the batched engine: ``pairs`` may be any
+        iterable (e.g. :func:`repro.genome.iter_pairs` over paired
+        FASTQ files) and is consumed one buffer at a time, so peak
+        memory is O(chunk) however large the input — the serving
+        counterpart of a memory-mapped index open.  Each buffered round
+        goes through :meth:`map_batch` (same chunk size, same optional
+        forked-worker sharding), and its results are yielded before the
+        next round is read, in input order and bit-identical to the
+        eager engines.  With ``workers=N`` each flushed buffer spins up
+        one fork pool, so the buffer grows to ``N * chunk_size`` pairs
+        to amortize pool setup across every worker's share (memory is
+        then O(chunk x workers)).
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        buffer_limit = chunk_size
+        if workers is not None and workers > 1:
+            buffer_limit = chunk_size * workers
+        buffer: List = []
+        for pair in pairs:
+            buffer.append(pair)
+            if len(buffer) >= buffer_limit:
+                yield from self.map_batch(buffer, chunk_size=chunk_size,
+                                          workers=workers)
+                buffer = []
+        if buffer:
+            yield from self.map_batch(buffer, chunk_size=chunk_size,
+                                      workers=workers)
+
     # -- batched engine ----------------------------------------------------
 
     @staticmethod
@@ -308,13 +346,12 @@ class GenPairPipeline:
         import multiprocessing
 
         workers = min(workers, len(items))
+        if not hasattr(os, "fork"):
+            return self._sharding_unavailable(items, chunk_size)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:
-            # No fork start method (e.g. Windows): the pipeline holds
-            # closures and array views that do not pickle reliably, so
-            # degrade to the in-process batched engine.
-            return self.map_batch(items, chunk_size=chunk_size)
+            return self._sharding_unavailable(items, chunk_size)
         bounds = np.linspace(0, len(items), workers + 1).astype(int)
         token = next(_FORK_TOKENS)
         shards = [(token, int(lo), int(hi))
@@ -333,6 +370,19 @@ class GenPairPipeline:
             results.extend(shard_results)
             self.stats.merge(shard_stats)
         return results
+
+    def _sharding_unavailable(self, items, chunk_size: int
+                              ) -> List[PairResult]:
+        """Degrade to the in-process batched engine where fork is missing.
+
+        The pipeline holds closures and array views that do not pickle
+        reliably, so on platforms without the ``fork`` start method
+        (e.g. Windows) ``workers=N`` maps single-process with a note
+        rather than crashing; results are identical either way.
+        """
+        print("note: workers>1 needs os.fork, which this platform "
+              "lacks; mapping single-process instead", file=sys.stderr)
+        return self.map_batch(items, chunk_size=chunk_size)
 
     # -- shared per-pair dataflow ------------------------------------------
 

@@ -85,13 +85,20 @@ class SeedMap:
 
     def __init__(self, seed_length: int, locations: np.ndarray,
                  hash_keys: np.ndarray, range_starts: np.ndarray,
-                 range_ends: np.ndarray, stats: SeedMapStats) -> None:
+                 range_ends: np.ndarray, stats: SeedMapStats,
+                 filter_threshold: Optional[int] = DEFAULT_FILTER_THRESHOLD,
+                 step: int = 1) -> None:
         self.seed_length = seed_length
         self._locations = locations
         self._hash_keys = np.asarray(hash_keys, dtype=np.uint64)
         self._range_starts = np.asarray(range_starts, dtype=np.int64)
         self._range_ends = np.asarray(range_ends, dtype=np.int64)
         self.stats = stats
+        #: Build fingerprint: the configuration this index answers for.
+        #: Persisted by :mod:`repro.index` and validated on open so a
+        #: stale index cannot silently serve a reconfigured pipeline.
+        self.filter_threshold = filter_threshold
+        self.step = step
 
     # -- construction --------------------------------------------------
 
@@ -131,7 +138,8 @@ class SeedMap:
             return cls(seed_length, np.zeros(0, dtype=np.int64),
                        np.zeros(0, dtype=np.uint64),
                        np.zeros(0, dtype=np.int64),
-                       np.zeros(0, dtype=np.int64), empty_stats)
+                       np.zeros(0, dtype=np.int64), empty_stats,
+                       filter_threshold=filter_threshold, step=step)
         all_hashes = np.concatenate(hash_chunks)
         all_positions = np.concatenate(position_chunks)
         order = np.lexsort((all_positions, all_hashes))
@@ -164,7 +172,8 @@ class SeedMap:
             max_locations=int(kept_sizes.max()) if keep.any() else 0,
         )
         return cls(seed_length, locations, hash_keys, range_starts,
-                   range_ends, stats)
+                   range_ends, stats, filter_threshold=filter_threshold,
+                   step=step)
 
     # -- querying --------------------------------------------------------
 
@@ -220,6 +229,20 @@ class SeedMap:
     def location_table(self) -> np.ndarray:
         """The flat Location Table (global linear coordinates)."""
         return self._locations
+
+    def table_arrays(self) -> "dict":
+        """The four backing arrays, keyed by their serialized names.
+
+        This is the persistence contract used by :mod:`repro.index`: a
+        SeedMap is exactly these arrays plus ``seed_length`` and
+        :attr:`stats`, so writing them to disk and handing memory-mapped
+        views back to the constructor reconstructs an identical index
+        without touching the FASTA.
+        """
+        return {"hash_keys": self._hash_keys,
+                "range_starts": self._range_starts,
+                "range_ends": self._range_ends,
+                "locations": self._locations}
 
     def __contains__(self, seed_hash: int) -> bool:
         return self._find(seed_hash) >= 0

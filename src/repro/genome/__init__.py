@@ -7,11 +7,13 @@ alignment records.
 """
 
 from .cigar import Cigar, CigarError
-from .io_fasta import read_fasta, read_fastq, write_fasta, write_fastq
+from .io_fasta import (DEFAULT_PAIR_CHUNK, FastaError, iter_pairs,
+                       iter_pairs_chunked, read_fasta, read_fastq,
+                       read_pairs, write_fasta, write_fastq)
 from .reference import (ReferenceError, ReferenceGenome, RepeatProfile,
                         generate_reference)
 from .sam import (METHOD_DP, METHOD_EXACT, METHOD_LIGHT, AlignmentRecord,
-                  write_sam)
+                  SamWriter, write_sam)
 from .sequence import (ALPHABET_SIZE, SequenceError, decode, encode,
                        hamming_distance, kmer_to_int, kmers, pack_2bit,
                        random_sequence, reverse_complement,
@@ -22,12 +24,15 @@ from .variants import DiploidDonor, Haplotype, Variant, plant_variants
 
 __all__ = [
     "ALPHABET_SIZE", "AlignmentRecord", "Cigar", "CigarError",
-    "DiploidDonor", "ErrorModel", "Haplotype", "METHOD_DP", "METHOD_EXACT",
-    "METHOD_LIGHT", "PairedEndProfile", "ReadSimulator", "ReferenceError",
-    "ReferenceGenome", "RepeatProfile", "SequenceError", "SimulatedPair",
-    "SimulatedRead", "SimulationError", "Variant", "decode", "encode",
-    "generate_reference", "hamming_distance", "kmer_to_int", "kmers",
+    "DEFAULT_PAIR_CHUNK", "DiploidDonor", "ErrorModel", "FastaError",
+    "Haplotype", "METHOD_DP", "METHOD_EXACT", "METHOD_LIGHT",
+    "PairedEndProfile", "ReadSimulator", "ReferenceError",
+    "ReferenceGenome", "RepeatProfile", "SamWriter", "SequenceError",
+    "SimulatedPair", "SimulatedRead", "SimulationError", "Variant",
+    "decode", "encode", "generate_reference", "hamming_distance",
+    "iter_pairs", "iter_pairs_chunked", "kmer_to_int", "kmers",
     "pack_2bit", "plant_variants", "random_sequence", "read_fasta",
-    "read_fastq", "reverse_complement", "reverse_complement_str",
-    "unpack_2bit", "write_fasta", "write_fastq", "write_sam",
+    "read_fastq", "read_pairs", "reverse_complement",
+    "reverse_complement_str", "unpack_2bit", "write_fasta",
+    "write_fastq", "write_sam",
 ]

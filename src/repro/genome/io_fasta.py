@@ -1,13 +1,20 @@
-"""Minimal FASTA/FASTQ reading and writing.
+"""Minimal FASTA/FASTQ reading and writing, plus streaming paired input.
 
 The reproduction generates its own data, but a downstream user will want to
 feed real files through the pipeline, and the examples round-trip datasets to
 disk.  Only the features the pipeline needs are implemented: plain
 (optionally multi-line) FASTA, and four-line FASTQ with dummy qualities.
+
+Paired input goes through :func:`iter_pairs_chunked` (or its flat wrapper
+:func:`iter_pairs`): the two FASTQ files are walked in lockstep in
+O(chunk) memory, R1/R2 record names are checked for agreement, and a
+truncated or unequal pair of files raises :class:`FastaError` instead of
+silently dropping the tail the way ``zip`` would.
 """
 
 from __future__ import annotations
 
+import itertools
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
@@ -17,6 +24,12 @@ from .reference import ReferenceGenome
 from .sequence import decode, encode
 
 PathLike = Union[str, Path]
+OptionalChunk = Union[int, None]
+
+#: Default pairs per chunk of :func:`iter_pairs_chunked` — matches the
+#: pipeline's batched engine granularity a few times over so one chunk
+#: amortizes parsing without holding a whole dataset.
+DEFAULT_PAIR_CHUNK = 4096
 
 
 class FastaError(ValueError):
@@ -84,6 +97,79 @@ def read_fastq(path: PathLike) -> Iterator[Tuple[str, np.ndarray]]:
             if len(qual) != len(seq):
                 raise FastaError("quality length differs from sequence")
             yield header[1:].split()[0], encode(seq, allow_n=True)
+
+
+def _pair_name(name1: str, name2: str, ordinal: int,
+               reads1: PathLike, reads2: PathLike) -> str:
+    """Shared base name of an R1/R2 record pair, validated for agreement.
+
+    Mate suffixes (``/1``, ``/2``) are stripped; anything left differing
+    means the two files are out of sync (e.g. one was filtered or
+    re-sorted independently), which would mis-pair every later read.
+    """
+    base1 = name1.rsplit("/", 1)[0]
+    base2 = name2.rsplit("/", 1)[0]
+    if base1 != base2:
+        raise FastaError(
+            f"paired FASTQ name mismatch at record {ordinal + 1}: "
+            f"{name1!r} ({reads1}) vs {name2!r} ({reads2}); the files "
+            "are not in the same read order")
+    return base1
+
+
+def iter_pairs_chunked(reads1: PathLike, reads2: PathLike,
+                       chunk_size: OptionalChunk = DEFAULT_PAIR_CHUNK
+                       ) -> Iterator[List[Tuple[np.ndarray, np.ndarray,
+                                                str]]]:
+    """Stream two paired FASTQ files as chunks of ``(codes1, codes2, name)``.
+
+    Chunks hold at most ``chunk_size`` pairs (``None`` selects
+    :data:`DEFAULT_PAIR_CHUNK`), so memory stays O(chunk) on
+    arbitrarily large inputs.  Each R1/R2 record pair must agree on
+    its base name, and the two files must hold the same number of
+    records — a shorter file (truncated download, mismatched lanes)
+    raises :class:`FastaError` naming the offending file rather than
+    silently dropping the unpaired tail.
+    """
+    if chunk_size is None:
+        chunk_size = DEFAULT_PAIR_CHUNK
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    chunk: List[Tuple[np.ndarray, np.ndarray, str]] = []
+    ordinal = 0
+    for record1, record2 in itertools.zip_longest(read_fastq(reads1),
+                                                  read_fastq(reads2)):
+        if record1 is None or record2 is None:
+            shorter, longer = ((reads1, reads2) if record1 is None
+                               else (reads2, reads1))
+            raise FastaError(
+                f"paired FASTQ files have unequal read counts: "
+                f"{shorter} ended after {ordinal} records but {longer} "
+                "has more; refusing to silently drop the unpaired tail")
+        name1, codes1 = record1
+        name2, codes2 = record2
+        chunk.append((codes1, codes2,
+                      _pair_name(name1, name2, ordinal, reads1, reads2)))
+        ordinal += 1
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def iter_pairs(reads1: PathLike, reads2: PathLike,
+               chunk_size: OptionalChunk = DEFAULT_PAIR_CHUNK
+               ) -> Iterator[Tuple[np.ndarray, np.ndarray, str]]:
+    """Flat, lazy view of :func:`iter_pairs_chunked` (one pair at a time)."""
+    for chunk in iter_pairs_chunked(reads1, reads2, chunk_size=chunk_size):
+        yield from chunk
+
+
+def read_pairs(reads1: PathLike, reads2: PathLike
+               ) -> List[Tuple[np.ndarray, np.ndarray, str]]:
+    """Eagerly read two paired FASTQ files (same validation as streaming)."""
+    return list(iter_pairs(reads1, reads2))
 
 
 def write_fastq(path: PathLike,

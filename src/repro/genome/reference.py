@@ -55,6 +55,46 @@ class ReferenceGenome:
             cursor += len(codes)
         self._total = cursor
 
+    @classmethod
+    def from_linear_codes(cls, names: Sequence[str],
+                          lengths: Sequence[int],
+                          codes: np.ndarray) -> "ReferenceGenome":
+        """Reassemble a genome from its flattened linear code array.
+
+        ``codes`` is the concatenation of every chromosome's base codes in
+        declaration order — the same global coordinate space
+        :meth:`to_linear` maps into.  Each chromosome becomes a *view*
+        into ``codes`` (zero-copy), which is what lets the persistent
+        index (:mod:`repro.index`) serve a whole genome out of one
+        ``np.memmap`` that forked workers share physically.
+        """
+        codes = np.asarray(codes)
+        if codes.ndim != 1:
+            raise ReferenceError("linear codes must be one-dimensional")
+        if len(names) != len(set(names)):
+            raise ReferenceError("duplicate chromosome names")
+        if len(names) != len(lengths):
+            raise ReferenceError("names and lengths differ in count")
+        chromosomes: Dict[str, np.ndarray] = {}
+        cursor = 0
+        for name, length in zip(names, lengths):
+            if length < 0:
+                raise ReferenceError("negative chromosome length")
+            chromosomes[name] = codes[cursor:cursor + length]
+            cursor += length
+        if cursor != len(codes):
+            raise ReferenceError(
+                f"linear codes hold {len(codes)} bases but chromosome "
+                f"lengths sum to {cursor}")
+        return cls(chromosomes)
+
+    def linear_codes(self) -> np.ndarray:
+        """Every chromosome's codes concatenated in declaration order."""
+        if not self._names:
+            return np.zeros(0, dtype=np.uint8)
+        return np.concatenate([self.chromosomes[name]
+                               for name in self._names])
+
     # -- introspection -----------------------------------------------------
 
     @property

@@ -122,17 +122,65 @@ class AlignmentRecord:
         return "\t".join(fields)
 
 
+class SamWriter:
+    """Incremental SAM writer: header up front, records as they arrive.
+
+    The streaming ``map`` path hands each chunk's results straight here,
+    so writing a SAM file needs O(1) memory regardless of input size.
+    Use as a context manager::
+
+        with SamWriter("out.sam", reference=reference) as writer:
+            for result in pipeline.map_stream(pairs):
+                writer.write_pair(result)
+
+    :attr:`count` tracks records written so far.
+    """
+
+    def __init__(self, path: PathLike,
+                 reference: Optional[ReferenceGenome] = None) -> None:
+        self.path = str(path)
+        self.count = 0
+        self._handle = open(path, "w")
+        try:
+            self._handle.write("@HD\tVN:1.6\tSO:unknown\n")
+            if reference is not None:
+                for name in reference.names:
+                    self._handle.write(
+                        f"@SQ\tSN:{name}\tLN:{reference.length(name)}\n")
+        except Exception:
+            self._handle.close()
+            raise
+
+    def write(self, record: AlignmentRecord) -> None:
+        """Append one alignment record."""
+        self._handle.write(record.to_sam_line() + "\n")
+        self.count += 1
+
+    def write_pair(self, result) -> None:
+        """Append both records of a pipeline ``PairResult``."""
+        self.write(result.record1)
+        self.write(result.record2)
+
+    def write_all(self, records: Iterable[AlignmentRecord]) -> int:
+        """Append many records; returns the number written by this call."""
+        before = self.count
+        for record in records:
+            self.write(record)
+        return self.count - before
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "SamWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def write_sam(path: PathLike, records: Iterable[AlignmentRecord],
               reference: Optional[ReferenceGenome] = None) -> int:
     """Write records to a SAM-flavoured file; returns the record count."""
-    count = 0
-    with open(path, "w") as handle:
-        handle.write("@HD\tVN:1.6\tSO:unknown\n")
-        if reference is not None:
-            for name in reference.names:
-                handle.write(
-                    f"@SQ\tSN:{name}\tLN:{reference.length(name)}\n")
-        for record in records:
-            handle.write(record.to_sam_line() + "\n")
-            count += 1
-    return count
+    with SamWriter(path, reference=reference) as writer:
+        writer.write_all(records)
+        return writer.count

@@ -66,6 +66,30 @@ def sample_pairs(simulator):
     return simulator.simulate_pairs(120)
 
 
+def record_signature(record):
+    """Every observable field of an AlignmentRecord, as a tuple."""
+    return (record.query_name, record.chromosome, record.position,
+            record.strand, record.mapq, str(record.cigar), record.score,
+            record.mate, record.mapped, record.method,
+            record.mate_chromosome, record.mate_position,
+            record.mate_strand, record.template_length,
+            record.proper_pair)
+
+
+@pytest.fixture(scope="session")
+def result_signature():
+    """Full-field signature of a PairResult, for bit-identity asserts.
+
+    Shared by every suite that claims two engines/loads are
+    "bit-identical", so the claim always means the same field set.
+    """
+    def signature(result):
+        return (result.name, result.stage, result.orientation,
+                result.joint_score, record_signature(result.record1),
+                record_signature(result.record2))
+    return signature
+
+
 @pytest.fixture(scope="session")
 def clean_pairs(clean_simulator):
     return clean_simulator.simulate_pairs(60)

@@ -1,0 +1,111 @@
+"""Tests for the streaming execution face of the pipeline."""
+
+import os
+
+import pytest
+
+from repro.core import GenPairPipeline
+
+
+class TestMapStream:
+    def test_bit_identical_to_map_batch(self, small_reference, seedmap,
+                                        sample_pairs, result_signature):
+        batched = GenPairPipeline(small_reference, seedmap=seedmap)
+        streamed = GenPairPipeline(small_reference, seedmap=seedmap)
+        expected = batched.map_batch(sample_pairs, chunk_size=32)
+        actual = list(streamed.map_stream(iter(sample_pairs),
+                                          chunk_size=32))
+        assert list(map(result_signature, expected)) \
+            == list(map(result_signature, actual))
+        assert batched.stats == streamed.stats
+
+    def test_consumes_input_one_chunk_at_a_time(self, small_reference,
+                                                seedmap, sample_pairs):
+        pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
+        consumed = []
+
+        def feed():
+            for index, pair in enumerate(sample_pairs):
+                consumed.append(index)
+                yield pair
+
+        stream = pipeline.map_stream(feed(), chunk_size=16)
+        assert consumed == []  # nothing read before iteration starts
+        next(stream)
+        # One chunk (plus the probe element of the next) is buffered —
+        # never the whole input.
+        assert len(consumed) <= 17
+        list(stream)
+        assert len(consumed) == len(sample_pairs)
+
+    def test_partial_final_chunk_flushed(self, small_reference, seedmap,
+                                         sample_pairs):
+        pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
+        results = list(pipeline.map_stream(iter(sample_pairs[:10]),
+                                           chunk_size=7))
+        assert len(results) == 10
+        assert pipeline.stats.pairs_total == 10
+
+    def test_bad_chunk_size_rejected(self, small_reference, seedmap):
+        pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
+        with pytest.raises(ValueError):
+            list(pipeline.map_stream(iter([]), chunk_size=0))
+
+    def test_streamed_workers_identical(self, small_reference, seedmap,
+                                        sample_pairs, result_signature):
+        solo = GenPairPipeline(small_reference, seedmap=seedmap)
+        sharded = GenPairPipeline(small_reference, seedmap=seedmap)
+        expected = list(solo.map_stream(iter(sample_pairs),
+                                        chunk_size=32))
+        actual = list(sharded.map_stream(iter(sample_pairs),
+                                         chunk_size=32, workers=2))
+        assert list(map(result_signature, expected)) \
+            == list(map(result_signature, actual))
+
+    def test_workers_widen_the_stream_buffer(self, small_reference,
+                                             seedmap, sample_pairs):
+        # One fork pool per flushed buffer: with workers=N the buffer
+        # grows to N x chunk_size so pool setup amortizes.
+        pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
+        calls = []
+        original = pipeline.map_batch
+
+        def spy(items, chunk_size, workers=None):
+            calls.append(len(items))
+            return original(items, chunk_size=chunk_size)
+
+        pipeline.map_batch = spy
+        list(pipeline.map_stream(iter(sample_pairs), chunk_size=16,
+                                 workers=4))
+        assert calls[:-1] == [64] * (len(sample_pairs) // 64)
+
+
+class TestForkGuard:
+    def test_no_fork_start_method_degrades(self, monkeypatch, capsys,
+                                           small_reference, seedmap,
+                                           sample_pairs):
+        import multiprocessing
+
+        def no_fork(method=None):
+            raise ValueError("cannot find context for 'fork'")
+
+        monkeypatch.setattr(multiprocessing, "get_context", no_fork)
+        pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
+        results = pipeline.map_batch(sample_pairs, workers=4)
+        assert len(results) == len(sample_pairs)
+        assert pipeline.stats.pairs_total == len(sample_pairs)
+        assert "os.fork" in capsys.readouterr().err
+
+    def test_platform_without_os_fork_degrades(self, monkeypatch, capsys,
+                                               small_reference, seedmap,
+                                               sample_pairs,
+                                               result_signature):
+        monkeypatch.delattr(os, "fork")
+        solo = GenPairPipeline(small_reference, seedmap=seedmap)
+        expected = solo.map_batch(sample_pairs)
+        pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
+        results = pipeline.map_batch(sample_pairs, workers=2)
+        assert list(map(result_signature, expected)) \
+            == list(map(result_signature, results))
+        assert solo.stats == pipeline.stats
+        assert "single-process" in capsys.readouterr().err

@@ -1,10 +1,11 @@
-"""Unit tests for FASTA/FASTQ I/O."""
+"""Unit tests for FASTA/FASTQ I/O and the streaming paired reader."""
 
 import numpy as np
 import pytest
 
-from repro.genome import (decode, encode, generate_reference, read_fasta,
-                          read_fastq, write_fasta, write_fastq)
+from repro.genome import (decode, encode, generate_reference, iter_pairs,
+                          iter_pairs_chunked, read_fasta, read_fastq,
+                          read_pairs, write_fasta, write_fastq)
 from repro.genome.io_fasta import FastaError
 
 
@@ -70,3 +71,76 @@ class TestFastq:
         path.write_text("@r1\nACGT\n+\nII\n")
         with pytest.raises(FastaError):
             list(read_fastq(path))
+
+
+def _write_pair_files(tmp_path, count, drop_from_2=0, rename_at=None):
+    path1 = tmp_path / "r_1.fq"
+    path2 = tmp_path / "r_2.fq"
+    records1, records2 = [], []
+    for i in range(count):
+        records1.append((f"pair{i}/1", encode("ACGTACGT")))
+        name2 = f"pair{i}/2" if rename_at != i else f"other{i}/2"
+        records2.append((name2, encode("TTTTAAAA")))
+    write_fastq(path1, records1)
+    write_fastq(path2, records2[:count - drop_from_2])
+    return path1, path2
+
+
+class TestPairedStreaming:
+    def test_chunking_covers_all_pairs(self, tmp_path):
+        path1, path2 = _write_pair_files(tmp_path, 10)
+        chunks = list(iter_pairs_chunked(path1, path2, chunk_size=4))
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+        names = [name for chunk in chunks for _, _, name in chunk]
+        assert names == [f"pair{i}" for i in range(10)]
+        codes1, codes2, _ = chunks[0][0]
+        assert decode(codes1) == "ACGTACGT"
+        assert decode(codes2) == "TTTTAAAA"
+
+    def test_flat_iterator_matches_chunks(self, tmp_path):
+        path1, path2 = _write_pair_files(tmp_path, 7)
+        flat = list(iter_pairs(path1, path2, chunk_size=3))
+        eager = read_pairs(path1, path2)
+        assert len(flat) == len(eager) == 7
+        assert [name for _, _, name in flat] \
+            == [name for _, _, name in eager]
+
+    def test_unequal_counts_rejected(self, tmp_path):
+        path1, path2 = _write_pair_files(tmp_path, 6, drop_from_2=2)
+        with pytest.raises(FastaError, match="unequal read counts"):
+            read_pairs(path1, path2)
+        # Symmetric: the shorter file may be reads1 as well.
+        with pytest.raises(FastaError, match="unequal read counts"):
+            read_pairs(path2, path1)
+
+    def test_error_names_the_short_file(self, tmp_path):
+        path1, path2 = _write_pair_files(tmp_path, 5, drop_from_2=1)
+        with pytest.raises(FastaError, match="r_2.fq ended after 4"):
+            read_pairs(path1, path2)
+
+    def test_name_disagreement_rejected(self, tmp_path):
+        path1, path2 = _write_pair_files(tmp_path, 5, rename_at=3)
+        with pytest.raises(FastaError, match="record 4"):
+            read_pairs(path1, path2)
+
+    def test_names_without_mate_suffix_accepted(self, tmp_path):
+        path1 = tmp_path / "a.fq"
+        path2 = tmp_path / "b.fq"
+        write_fastq(path1, [("frag9", encode("ACGT"))])
+        write_fastq(path2, [("frag9", encode("TTTT"))])
+        (_, _, name), = read_pairs(path1, path2)
+        assert name == "frag9"
+
+    def test_streaming_is_lazy(self, tmp_path):
+        # A name mismatch in the second chunk must not prevent the
+        # first chunk from being served.
+        path1, path2 = _write_pair_files(tmp_path, 8, rename_at=6)
+        stream = iter_pairs_chunked(path1, path2, chunk_size=4)
+        assert len(next(stream)) == 4
+        with pytest.raises(FastaError):
+            next(stream)
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        path1, path2 = _write_pair_files(tmp_path, 2)
+        with pytest.raises(ValueError):
+            list(iter_pairs_chunked(path1, path2, chunk_size=0))

@@ -2,7 +2,8 @@
 
 import numpy as np
 
-from repro.genome import AlignmentRecord, Cigar, encode, write_sam
+from repro.genome import (AlignmentRecord, Cigar, SamWriter, encode,
+                          write_sam)
 from repro.genome.sam import METHOD_LIGHT
 
 
@@ -58,3 +59,46 @@ class TestWriteSam:
         assert lines[0].startswith("@HD")
         assert any(line.startswith("@SQ\tSN:chr1") for line in lines)
         assert len([l for l in lines if not l.startswith("@")]) == 2
+
+
+class TestSamWriter:
+    def _records(self):
+        return [AlignmentRecord("a", "chr1", 0, cigar=Cigar.parse("10=")),
+                AlignmentRecord("b", "chr1", 5, cigar=Cigar.parse("4=")),
+                AlignmentRecord("c", mapped=False)]
+
+    def test_incremental_matches_write_sam(self, tmp_path,
+                                           plain_reference):
+        records = self._records()
+        eager = tmp_path / "eager.sam"
+        write_sam(eager, records, reference=plain_reference)
+        streamed = tmp_path / "streamed.sam"
+        with SamWriter(streamed, reference=plain_reference) as writer:
+            for record in records:
+                writer.write(record)
+            assert writer.count == 3
+        assert streamed.read_text() == eager.read_text()
+
+    def test_write_pair_appends_both_records(self, tmp_path):
+        class FakeResult:
+            record1 = AlignmentRecord("p/1", "chr1", 0,
+                                      cigar=Cigar.parse("4="))
+            record2 = AlignmentRecord("p/2", "chr1", 9,
+                                      cigar=Cigar.parse("4="))
+
+        path = tmp_path / "pairs.sam"
+        with SamWriter(path) as writer:
+            writer.write_pair(FakeResult())
+            assert writer.count == 2
+        body = [line for line in path.read_text().splitlines()
+                if not line.startswith("@")]
+        assert [line.split("\t")[0] for line in body] == ["p/1", "p/2"]
+
+    def test_header_written_before_any_record(self, tmp_path,
+                                              plain_reference):
+        path = tmp_path / "empty.sam"
+        with SamWriter(path, reference=plain_reference):
+            pass
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("@HD")
+        assert lines[1].startswith("@SQ")

@@ -17,6 +17,10 @@ class TestParser:
         for argv in (["simulate"], ["design"],
                      ["map", "--reference", "r", "--reads1", "a",
                       "--reads2", "b"],
+                     ["map", "--index", "r.rpix", "--reads1", "a",
+                      "--reads2", "b"],
+                     ["index", "build", "--reference", "r"],
+                     ["index", "inspect", "--index", "r.rpix"],
                      ["call", "--reference", "r", "--sam", "s"]):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -57,6 +61,78 @@ class TestWorkflow:
         assert open(vcf_path).readline().startswith("##fileformat")
         out = capsys.readouterr().out
         assert "mapped 80 pairs" in out
+
+    def test_index_build_map_roundtrip(self, tmp_path, capsys):
+        prefix = str(tmp_path / "demo")
+        assert main(["simulate", "--out", prefix, "--pairs", "40",
+                     "--chromosomes", "30000", "--seed", "9"]) == 0
+
+        index_path = str(tmp_path / "demo.rpix")
+        assert main(["index", "build", "--reference", prefix + "_ref.fa",
+                     "--out", index_path]) == 0
+        assert os.path.exists(index_path)
+        assert main(["index", "inspect", "--index", index_path]) == 0
+        out = capsys.readouterr().out
+        assert "seed length 50" in out
+        assert "checksums: ok" in out
+
+        # map --index must write byte-identical SAM to the
+        # build-per-run path, including with forked workers.
+        ref_sam = str(tmp_path / "ref.sam")
+        assert main(["map", "--reference", prefix + "_ref.fa",
+                     "--reads1", prefix + "_1.fq",
+                     "--reads2", prefix + "_2.fq",
+                     "--out", ref_sam, "--no-fallback"]) == 0
+        for suffix, extra in (("idx", []), ("idxw", ["--workers", "2"])):
+            idx_sam = str(tmp_path / f"{suffix}.sam")
+            assert main(["map", "--index", index_path,
+                         "--reads1", prefix + "_1.fq",
+                         "--reads2", prefix + "_2.fq",
+                         "--out", idx_sam, "--no-fallback"] + extra) == 0
+            assert open(idx_sam).read() == open(ref_sam).read()
+
+    def test_index_build_default_output_path(self, tmp_path):
+        prefix = str(tmp_path / "d")
+        assert main(["simulate", "--out", prefix, "--pairs", "1",
+                     "--chromosomes", "2000", "--seed", "2"]) == 0
+        assert main(["index", "build",
+                     "--reference", prefix + "_ref.fa"]) == 0
+        assert os.path.exists(prefix + "_ref.fa.rpix")
+
+    def test_map_requires_reference_xor_index(self, tmp_path, capsys):
+        assert main(["map", "--reads1", "a.fq", "--reads2", "b.fq"]) == 2
+        assert main(["map", "--reference", "r.fa", "--index", "r.rpix",
+                     "--reads1", "a.fq", "--reads2", "b.fq"]) == 2
+        err = capsys.readouterr().err
+        assert "exactly one of" in err
+
+    def test_map_rejects_stale_index_fingerprint(self, tmp_path, capsys):
+        prefix = str(tmp_path / "d")
+        assert main(["simulate", "--out", prefix, "--pairs", "2",
+                     "--chromosomes", "3000", "--seed", "4"]) == 0
+        index_path = str(tmp_path / "d.rpix")
+        assert main(["index", "build", "--reference", prefix + "_ref.fa",
+                     "--out", index_path]) == 0
+        assert main(["map", "--index", index_path,
+                     "--reads1", prefix + "_1.fq",
+                     "--reads2", prefix + "_2.fq",
+                     "--filter-threshold", "77",
+                     "--out", str(tmp_path / "x.sam")]) == 1
+        assert "fingerprint mismatch" in capsys.readouterr().err
+
+    def test_map_rejects_unequal_fastqs(self, tmp_path, capsys):
+        prefix = str(tmp_path / "d")
+        assert main(["simulate", "--out", prefix, "--pairs", "6",
+                     "--chromosomes", "5000", "--seed", "6"]) == 0
+        truncated = tmp_path / "short_2.fq"
+        lines = open(prefix + "_2.fq").read().splitlines(True)
+        truncated.write_text("".join(lines[:8]))  # 2 of 6 records
+        assert main(["map", "--reference", prefix + "_ref.fa",
+                     "--reads1", prefix + "_1.fq",
+                     "--reads2", str(truncated),
+                     "--out", str(tmp_path / "x.sam"),
+                     "--no-fallback"]) == 1
+        assert "unequal read counts" in capsys.readouterr().err
 
     def test_design_report(self, capsys):
         assert main(["design", "--memory", "DDR5",

@@ -1,0 +1,142 @@
+"""Persistent worker-pool streaming executor vs per-buffer fork pools.
+
+Before this executor existed, ``map_stream(workers=N)`` built and tore
+down a fresh fork pool for every flushed buffer of ``N x chunk`` pairs
+— pool setup was paid once per buffer and every buffer boundary was a
+barrier (all workers drained before the next buffer was read).  The
+persistent executor (:class:`repro.core.StreamExecutor`) forks the
+pool once per run, keeps up to ``2 x workers`` chunks in flight with a
+read-ahead thread parsing the next ones, and merges completed chunks
+in input order while later chunks are still being mapped — no
+per-buffer forks, no barriers.
+
+This bench reconstructs the per-buffer-pool baseline (one short-lived
+executor per buffer, exactly the old lifecycle) and races the
+persistent executor against it on
+
+* a *clean* dataset (error-free reads, repeat-free reference) where
+  mapping a buffer costs about as much as forking a pool, so the
+  amortization is the whole story — this is the asserted gate at
+  ``workers=4``; and
+* a *giab* dataset (repeat-rich reference, realistic errors) where
+  per-pair alignment work — identical in both lifecycles — dilutes
+  the end-to-end gain (reported for context).
+
+Results are also asserted bit-identical to the serial streaming path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import emit, result_signature
+
+from repro.core import GenPairPipeline, SeedMap, StreamExecutor
+from repro.genome import ErrorModel, ReadSimulator, generate_reference
+from repro.util import format_table
+
+CLEAN_PAIRS = 2000
+GIAB_PAIRS = 600
+CHUNK_SIZE = 16
+WORKER_COUNTS = (2, 4)
+REPEATS = 2
+
+
+def _serial_stream(pipeline, pairs):
+    return list(pipeline.map_stream(iter(pairs), chunk_size=CHUNK_SIZE))
+
+
+def _persistent(workers):
+    def run(pipeline, pairs):
+        return list(pipeline.map_stream(iter(pairs),
+                                        chunk_size=CHUNK_SIZE,
+                                        workers=workers))
+    return run
+
+
+def _per_buffer_pools(workers):
+    """The pre-executor lifecycle: one fork pool per flushed buffer of
+    ``workers x CHUNK_SIZE`` pairs, torn down before the next buffer."""
+    def run(pipeline, pairs):
+        results = []
+        buffer_limit = CHUNK_SIZE * workers
+        for start in range(0, len(pairs), buffer_limit):
+            buffer = pairs[start:start + buffer_limit]
+            with StreamExecutor(pipeline, workers=workers,
+                                chunk_size=CHUNK_SIZE) as pool:
+                results.extend(pool.map(buffer))
+        return results
+    return run
+
+
+def _best_seconds(reference, seedmap, pairs, runner) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        pipeline = GenPairPipeline(reference, seedmap=seedmap)
+        start = time.perf_counter()
+        runner(pipeline, pairs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_stream_workers(bench_reference, bench_seedmap, bench_donor):
+    clean_reference = generate_reference(np.random.default_rng(313),
+                                         (80_000,), repeats=None)
+    clean_seedmap = SeedMap.build(clean_reference)
+    clean_pairs = ReadSimulator(
+        clean_reference, error_model=ErrorModel.perfect(),
+        seed=317).simulate_pairs(CLEAN_PAIRS)
+    giab_pairs = ReadSimulator(
+        bench_reference, donor=bench_donor,
+        error_model=ErrorModel.giab_like(),
+        seed=311).simulate_pairs(GIAB_PAIRS)
+
+    worlds = {
+        "clean": (clean_reference, clean_seedmap, clean_pairs),
+        "giab": (bench_reference, bench_seedmap, giab_pairs),
+    }
+    rows = []
+    gate = {}
+    for label, (reference, seedmap, pairs) in worlds.items():
+        serial_s = _best_seconds(reference, seedmap, pairs,
+                                 _serial_stream)
+        rows.append((label, "serial stream", "-", f"{serial_s:.2f}",
+                     f"{len(pairs) / serial_s:,.0f}", "-"))
+        for workers in WORKER_COUNTS:
+            per_buffer_s = _best_seconds(reference, seedmap, pairs,
+                                         _per_buffer_pools(workers))
+            persistent_s = _best_seconds(reference, seedmap, pairs,
+                                         _persistent(workers))
+            gate[(label, workers)] = (per_buffer_s, persistent_s)
+            rows.append((label, f"per-buffer pools x{workers}",
+                         str(workers), f"{per_buffer_s:.2f}",
+                         f"{len(pairs) / per_buffer_s:,.0f}", "1.00x"))
+            rows.append((label, f"persistent executor x{workers}",
+                         str(workers), f"{persistent_s:.2f}",
+                         f"{len(pairs) / persistent_s:,.0f}",
+                         f"{per_buffer_s / persistent_s:.2f}x"))
+
+    # Correctness gate: the pooled stream is bit-identical to serial.
+    reference, seedmap, pairs = worlds["giab"]
+    serial = GenPairPipeline(reference, seedmap=seedmap)
+    want = _serial_stream(serial, pairs)
+    pooled = GenPairPipeline(reference, seedmap=seedmap)
+    got = _persistent(4)(pooled, pairs)
+    assert ([result_signature(r) for r in want]
+            == [result_signature(r) for r in got])
+    assert serial.stats == pooled.stats
+
+    emit("stream_workers", format_table(
+        ("dataset", "engine", "workers", "wall s", "pairs/s",
+         "speedup vs per-buffer"), rows,
+        title=f"Streaming executors (chunk {CHUNK_SIZE}, "
+              f"{CLEAN_PAIRS} clean / {GIAB_PAIRS} giab pairs)"))
+
+    # The perf gate: amortizing pool setup across the whole stream
+    # must beat re-forking a pool for every buffer at workers=4 on
+    # the pool-bound workload.
+    per_buffer_s, persistent_s = gate[("clean", 4)]
+    assert persistent_s < per_buffer_s, (
+        f"persistent executor ({persistent_s:.2f}s) should beat "
+        f"per-buffer pools ({per_buffer_s:.2f}s) at workers=4")

@@ -10,8 +10,9 @@ Subcommands mirror a real read-mapping toolchain:
 * ``map``           — map paired FASTQ files with the GenPair pipeline
   (plus optional MM2 fallback) and write SAM; reads stream through in
   O(batch) memory, the batched engine is on by default
-  (``--batch-size``, ``--workers``), and ``--index`` serves from a
-  prebuilt index instead of rebuilding the SeedMap from FASTA;
+  (``--batch-size``), ``--workers N`` streams the chunks through a
+  persistent pool of forked worker processes, and ``--index`` serves
+  from a prebuilt index instead of rebuilding the SeedMap from FASTA;
 * ``call``          — pile up a SAM file and call variants to VCF;
 * ``design``        — compose the GenPairX + GenDP hardware design and
   print the Table 3/4/5-style report.
@@ -31,10 +32,36 @@ Example::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 import numpy as np
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually use: the scheduling affinity mask
+    where available (respects cgroup/taskset limits in containers),
+    falling back to the raw core count."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0)) or 1
+    return os.cpu_count() or 1
+
+
+def _int_arg(flag: str, minimum: int, note: str = ""):
+    """Argparse type: an integer bounded below, with a clear error
+    (``--workers`` must be positive, ``--batch-size`` non-negative)."""
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected an integer, got {text!r}")
+        if value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be >= {minimum}{note}, got {value}")
+        return value
+    return parse
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -91,6 +118,15 @@ def _cmd_map(args: argparse.Namespace) -> int:
         print("error: map needs exactly one of --reference or --index",
               file=sys.stderr)
         return 2
+    if args.batch_size > 0 and args.workers > 1:
+        cpus = _available_cpus()
+        if args.workers > cpus:
+            print(f"note: --workers {args.workers} exceeds the {cpus} "
+                  f"available CPU(s); capping at {cpus}",
+                  file=sys.stderr)
+            args.workers = cpus
+    uses_pool = (args.batch_size > 0 and args.workers > 1
+                 and hasattr(os, "fork"))
     if args.index is not None:
         from .index import open_index
 
@@ -120,8 +156,8 @@ def _cmd_map(args: argparse.Namespace) -> int:
                                filter_threshold=threshold)
     fallback = None
     if not args.no_fallback:
-        if args.batch_size > 0 and args.workers > 1:
-            # Forked shards inherit a pre-fork build copy-on-write;
+        if uses_pool:
+            # Forked workers inherit a pre-fork build copy-on-write;
             # building lazily would make every worker rebuild it.
             fallback = make_full_fallback(Mm2LikeMapper(reference))
         else:
@@ -144,12 +180,23 @@ def _cmd_map(args: argparse.Namespace) -> int:
                    for read1, read2, name in pairs)
     try:
         with SamWriter(args.out, reference=reference) as writer:
-            for result in results:
-                writer.write_pair(result)
+            try:
+                writer.drain(results)
+            finally:
+                # Closing the stream tears the worker pool down (and
+                # terminates it if chunks were abandoned mid-flight).
+                close = getattr(results, "close", None)
+                if close is not None:
+                    close()
             count = writer.count
     except FastaError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        teardown = "worker pool torn down, " if uses_pool else ""
+        print(f"\ninterrupted: {teardown}partial SAM left at "
+              f"{args.out}", file=sys.stderr)
+        return 130
     stats = pipeline.stats
     print(f"mapped {stats.pairs_total} pairs -> {count} records "
           f"({args.out})")
@@ -363,16 +410,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "fingerprint")
     map_cmd.add_argument("--no-fallback", action="store_true",
                          help="disable the MM2 full-DP fallback")
-    map_cmd.add_argument("--batch-size", type=int, default=256,
+    map_cmd.add_argument("--batch-size",
+                         type=_int_arg("--batch-size", 0,
+                                       " (0 disables the batched "
+                                       "engine)"),
+                         default=256,
                          help="pairs per vectorized batch: seeds are "
                               "hashed and resolved against the SeedMap "
                               "in one call per batch (0 disables the "
                               "batched engine and maps pair by pair; "
                               "results are identical either way)")
-    map_cmd.add_argument("--workers", type=int, default=1,
-                         help="shard batches across N forked worker "
-                              "processes (1 = in-process; per-shard "
-                              "stats are merged into the final report)")
+    map_cmd.add_argument("--workers", type=_int_arg("--workers", 1),
+                         default=1,
+                         help="stream batches through a persistent "
+                              "pool of N forked worker processes "
+                              "(1 = in-process; capped at the CPU "
+                              "count; worker stats are merged into "
+                              "the final report)")
     map_cmd.set_defaults(func=_cmd_map)
 
     call = sub.add_parser("call", help="call variants from a SAM file")

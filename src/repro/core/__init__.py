@@ -23,9 +23,12 @@ lists batch-wide.  :func:`~repro.core.seeding.partition_pairs_batch` and
 :func:`~repro.core.query.query_reads_batch` are the Seed-level batch
 counterparts of ``partition_pair``/``query_read`` built on the same
 primitives (and pin the scalar/batch equivalence in the test suite).
-``map_batch(..., workers=N)`` shards the input over forked processes,
-merging per-shard counters with :meth:`PipelineStats.merge`.  Both
-engines produce bit-identical :class:`PairResult` streams.
+``map_batch(..., workers=N)`` and ``map_stream(..., workers=N)``
+dispatch chunks to a persistent pool of forked worker processes
+(:class:`~repro.core.pipeline.StreamExecutor`) — forked once per run,
+double-buffered dispatch, ordered merge — folding per-chunk counters
+back with :meth:`PipelineStats.merge` at pool shutdown.  All engines
+produce bit-identical :class:`PairResult` streams.
 """
 
 from .insert_estimator import (InsertSizeEstimate, InsertSizeEstimator,
@@ -34,10 +37,10 @@ from .light_align import (EditProfile, LightAligner, LightAlignment,
                           enumerate_simple_profiles)
 from .longread import LongReadConfig, LongReadMapper, LongReadStats
 from .pairfilter import DEFAULT_DELTA, FilterResult, filter_adjacent
-from .pipeline import (DEFAULT_BATCH_SIZE, STAGE_DP_CANDIDATE,
-                       STAGE_FULL_DP, STAGE_LIGHT, STAGE_UNMAPPED,
-                       GenPairConfig, GenPairPipeline, PairResult,
-                       PipelineStats)
+from .pipeline import (DEFAULT_BATCH_SIZE, DEFAULT_INFLIGHT_PER_WORKER,
+                       STAGE_DP_CANDIDATE, STAGE_FULL_DP, STAGE_LIGHT,
+                       STAGE_UNMAPPED, GenPairConfig, GenPairPipeline,
+                       PairResult, PipelineStats, StreamExecutor)
 from .query import (QueryResult, query_hash_groups, query_pair,
                     query_read, query_reads_batch)
 from .seedmap import (DEFAULT_FILTER_THRESHOLD, LOCATION_ENTRY_BYTES,
@@ -47,6 +50,7 @@ from .seeding import (PairSeeds, Seed, pair_role_codes, partition_pair,
 
 __all__ = [
     "DEFAULT_BATCH_SIZE", "DEFAULT_DELTA", "DEFAULT_FILTER_THRESHOLD",
+    "DEFAULT_INFLIGHT_PER_WORKER", "StreamExecutor",
     "EditProfile", "InsertSizeEstimate", "InsertSizeEstimator",
     "calibrate_delta", "FilterResult", "GenPairConfig", "GenPairPipeline",
     "LightAligner", "LightAlignment", "LOCATION_ENTRY_BYTES",

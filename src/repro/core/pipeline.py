@@ -23,17 +23,30 @@ Two execution engines share the exact same per-pair decision logic:
   all seeds of a chunk with one vectorized xxHash call, resolves every
   seed against the array-backed SeedMap in one ``searchsorted`` probe,
   and merges candidates batch-wide, only dropping to per-pair Python for
-  filtering and alignment.  With ``workers=N`` the batch is sharded
-  across forked processes and the per-shard :class:`PipelineStats` are
-  merged back.  Results are bit-identical between the two engines
-  (asserted in the test suite).
+  filtering and alignment.  Results are bit-identical between the two
+  engines (asserted in the test suite).
+
+Multi-process execution runs on :class:`StreamExecutor`, a persistent
+worker-pool streaming executor: a long-lived pool of forked worker
+processes (sharing the parent's SeedMap — including a memory-mapped
+index — copy-on-write) is created once per run, fed chunk by chunk
+with double-buffered dispatch so the reader stays ahead of the
+workers, and an ordered-merge collector yields completed chunks in
+input order while later chunks are still in flight.  Both
+``map_batch(workers=N)`` and ``map_stream(workers=N)`` dispatch
+through it; per-chunk :class:`PipelineStats` are folded into the
+parent pipeline once, at pool shutdown.
 """
 
 from __future__ import annotations
 
 import itertools
+import multiprocessing
 import os
+import queue as queue_module
 import sys
+import traceback
+import weakref
 from dataclasses import dataclass, fields
 from typing import Callable, Iterable, Iterator, List, Optional, \
     Sequence, Tuple
@@ -44,6 +57,7 @@ from ..align.banded import align_banded
 from ..align.scoring import DEFAULT_SCHEME, HIGH_QUALITY_THRESHOLD, \
     ScoringScheme
 from ..genome.cigar import Cigar
+from ..genome.io_fasta import read_ahead
 from ..genome.reference import ReferenceGenome
 from ..genome.sam import (METHOD_DP, METHOD_EXACT, METHOD_LIGHT,
                           AlignmentRecord)
@@ -73,6 +87,16 @@ FullFallback = Callable[[np.ndarray, np.ndarray, str],
 #: enough to amortize the vectorized hashing/query setup, small enough to
 #: keep the gathered location arrays cache-resident.
 DEFAULT_BATCH_SIZE = 256
+
+#: Default in-flight chunk budget per worker of :class:`StreamExecutor` —
+#: double-buffered dispatch: every worker can have one chunk running and
+#: one queued, so finishing a chunk never leaves a worker idle waiting
+#: for the reader.
+DEFAULT_INFLIGHT_PER_WORKER = 2
+
+#: How many parsed chunks the executor's read-ahead thread keeps ready
+#: beyond the submitted ones.
+READ_AHEAD_DEPTH = 2
 
 
 @dataclass(frozen=True)
@@ -191,6 +215,7 @@ class GenPairPipeline:
         self.full_fallback = full_fallback
         self.stats = PipelineStats()
         self._chromosome_starts = reference.linear_starts()
+        self._fork_note_shown = False
 
     # -- public API --------------------------------------------------------
 
@@ -217,11 +242,13 @@ class GenPairPipeline:
         seeds are hashed with one vectorized call, resolved against the
         SeedMap in one batched probe, and merged into per-read candidate
         lists batch-wide; only adjacency filtering and alignment run
-        per-pair.  ``workers=N`` (N > 1) additionally shards the input
-        across ``N`` forked worker processes, each mapping its shard with
-        the batched engine; per-shard statistics are folded back into
-        :attr:`stats` via :meth:`PipelineStats.merge`.  Accepts the same
-        inputs as :meth:`map_pairs` and returns results in input order.
+        per-pair.  ``workers=N`` (N > 1) additionally dispatches the
+        chunks to a persistent pool of ``N`` forked worker processes
+        (:class:`StreamExecutor`), each mapping its chunks with the
+        batched engine; per-chunk statistics are folded back into
+        :attr:`stats` via :meth:`PipelineStats.merge` when the pool
+        shuts down at the end of the call.  Accepts the same inputs as
+        :meth:`map_pairs` and returns results in input order.
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
@@ -235,47 +262,71 @@ class GenPairPipeline:
 
     def map_stream(self, pairs: Iterable,
                    chunk_size: int = DEFAULT_BATCH_SIZE,
-                   workers: Optional[int] = None
+                   workers: Optional[int] = None,
+                   inflight: Optional[int] = None
                    ) -> Iterator[PairResult]:
         """Map a lazy pair stream, yielding results as chunks finish.
 
         The streaming face of the batched engine: ``pairs`` may be any
         iterable (e.g. :func:`repro.genome.iter_pairs` over paired
-        FASTQ files) and is consumed one buffer at a time, so peak
-        memory is O(chunk) however large the input — the serving
-        counterpart of a memory-mapped index open.  Each buffered round
-        goes through :meth:`map_batch` (same chunk size, same optional
-        forked-worker sharding), and its results are yielded before the
-        next round is read, in input order and bit-identical to the
-        eager engines.  With ``workers=N`` each flushed buffer spins up
-        one fork pool, so the buffer grows to ``N * chunk_size`` pairs
-        to amortize pool setup across every worker's share (memory is
-        then O(chunk x workers)).
+        FASTQ files) and is consumed chunk by chunk, in input order and
+        bit-identical to the eager engines, with peak memory bounded
+        however large the input — the serving counterpart of a
+        memory-mapped index open.
+
+        With ``workers=N`` (N > 1, fork platforms) chunks are
+        dispatched to a **persistent worker pool**
+        (:class:`StreamExecutor`): the pool is forked once per call —
+        not once per buffer — and lives until the stream is exhausted
+        or closed.  Double-buffered dispatch keeps up to ``inflight``
+        chunks (default ``2 * workers``) submitted while a read-ahead
+        thread parses the next chunks, so the reader stays ahead of
+        the workers; an ordered-merge collector yields completed
+        chunks in input order while later chunks are still in flight.
+        Peak memory is O(chunk_size x inflight) pairs plus their
+        results.  Per-chunk worker statistics are folded into
+        :attr:`stats` once, at pool shutdown (i.e. once the returned
+        generator is exhausted or closed).  Where ``fork`` is
+        unavailable the stream degrades to the in-process engine with
+        a single note per pipeline.
+
+        Unnamed ``(read1, read2)`` tuples are numbered globally across
+        the whole stream (``pair0``, ``pair1``, ... never repeat
+        between chunks).
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
-        buffer_limit = chunk_size
         if workers is not None and workers > 1:
-            buffer_limit = chunk_size * workers
-        buffer: List = []
-        for pair in pairs:
-            buffer.append(pair)
-            if len(buffer) >= buffer_limit:
-                yield from self.map_batch(buffer, chunk_size=chunk_size,
-                                          workers=workers)
-                buffer = []
-        if buffer:
-            yield from self.map_batch(buffer, chunk_size=chunk_size,
-                                      workers=workers)
+            if _fork_context() is not None:
+                executor = StreamExecutor(self, workers=workers,
+                                          chunk_size=chunk_size,
+                                          inflight=inflight)
+                try:
+                    yield from executor.map(pairs)
+                finally:
+                    executor.close()
+                return
+            self._warn_fork_unavailable()
+        for chunk in self._chunk_stream(pairs, chunk_size):
+            yield from self._map_chunk(chunk)
 
     # -- batched engine ----------------------------------------------------
 
     @staticmethod
-    def _normalize_pairs(pairs: Sequence
+    def _normalize_pairs(pairs: Sequence, first_index: int = 0
                          ) -> List[Tuple[np.ndarray, np.ndarray, str]]:
+        """Coerce pair inputs to ``(read1, read2, name)`` tuples.
+
+        ``first_index`` seats the synthetic-name counter for unnamed
+        tuples: streaming callers pass their running pair count so
+        ``pair{N}`` names stay unique across chunks instead of
+        restarting at ``pair0`` every buffer.
+        """
         items = []
-        for index, pair in enumerate(pairs):
-            if hasattr(pair, "read1"):
+        for index, pair in enumerate(pairs, start=first_index):
+            if type(pair) is tuple and len(pair) == 3:
+                items.append(pair)  # already (read1, read2, name)
+            elif hasattr(pair, "read1"):
                 items.append((pair.read1.codes, pair.read2.codes,
                               pair.name))
             else:
@@ -283,6 +334,27 @@ class GenPairPipeline:
                 name = pair[2] if len(pair) > 2 else f"pair{index}"
                 items.append((read1, read2, name))
         return items
+
+    def _chunk_stream(self, pairs: Iterable, chunk_size: int
+                      ) -> Iterator[List[Tuple[np.ndarray, np.ndarray,
+                                               str]]]:
+        """Chunk a lazy pair stream into normalized task chunks.
+
+        The one chunking loop shared by the serial streaming path and
+        the worker-pool executor, so both number synthetic names with
+        the same global running offset and flush partial tails the
+        same way — keeping their outputs bit-identical by construction.
+        """
+        chunk: List = []
+        consumed = 0
+        for pair in pairs:
+            chunk.append(pair)
+            if len(chunk) >= chunk_size:
+                yield self._normalize_pairs(chunk, first_index=consumed)
+                consumed += len(chunk)
+                chunk = []
+        if chunk:
+            yield self._normalize_pairs(chunk, first_index=consumed)
 
     def _map_chunk(self, items: Sequence[Tuple[np.ndarray, np.ndarray,
                                                str]]) -> List[PairResult]:
@@ -343,33 +415,24 @@ class GenPairPipeline:
 
     def _map_batch_sharded(self, items, chunk_size: int,
                            workers: int) -> List[PairResult]:
-        import multiprocessing
+        """Eager multi-process mapping through the persistent executor.
 
+        The same chunks the in-process engine would form are dispatched
+        to a :class:`StreamExecutor` pool and collected in order, so
+        results and merged statistics are identical to ``workers=None``.
+        """
+        if _fork_context() is None:
+            return self._sharding_unavailable(items, chunk_size)
+        # map_batch only dispatches here with workers > 1 and at least
+        # two items, so the cap keeps workers >= 2.  Subdivide the
+        # dispatch granularity when the whole input fits in one chunk,
+        # so every worker still gets a share (chunk boundaries do not
+        # change results — asserted in the tests).
         workers = min(workers, len(items))
-        if not hasattr(os, "fork"):
-            return self._sharding_unavailable(items, chunk_size)
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            return self._sharding_unavailable(items, chunk_size)
-        bounds = np.linspace(0, len(items), workers + 1).astype(int)
-        token = next(_FORK_TOKENS)
-        shards = [(token, int(lo), int(hi))
-                  for lo, hi in zip(bounds[:-1], bounds[1:]) if lo < hi]
-        # Registered under a unique token so concurrent map_batch calls
-        # (e.g. two pipelines on different threads) cannot clobber each
-        # other's fork-inherited state.
-        _FORK_STATE[token] = (self, items, chunk_size)
-        try:
-            with context.Pool(processes=len(shards)) as pool:
-                outcomes = pool.map(_map_shard, shards)
-        finally:
-            del _FORK_STATE[token]
-        results: List[PairResult] = []
-        for shard_results, shard_stats in outcomes:
-            results.extend(shard_results)
-            self.stats.merge(shard_stats)
-        return results
+        dispatch = min(chunk_size, -(-len(items) // workers))
+        with StreamExecutor(self, workers=workers,
+                            chunk_size=dispatch) as executor:
+            return list(executor.map(items))
 
     def _sharding_unavailable(self, items, chunk_size: int
                               ) -> List[PairResult]:
@@ -380,9 +443,18 @@ class GenPairPipeline:
         (e.g. Windows) ``workers=N`` maps single-process with a note
         rather than crashing; results are identical either way.
         """
+        self._warn_fork_unavailable()
+        return self.map_batch(items, chunk_size=chunk_size)
+
+    def _warn_fork_unavailable(self) -> None:
+        """Print the fork-unavailable note once per pipeline, not once
+        per flushed buffer — a long stream degrades with a single line
+        of stderr instead of one per chunk."""
+        if self._fork_note_shown:
+            return
+        self._fork_note_shown = True
         print("note: workers>1 needs os.fork, which this platform "
               "lacks; mapping single-process instead", file=sys.stderr)
-        return self.map_batch(items, chunk_size=chunk_size)
 
     # -- shared per-pair dataflow ------------------------------------------
 
@@ -636,18 +708,298 @@ class GenPairPipeline:
 _BATCH_ORIENTATIONS = (PairSeeds(read1=(), read2=(), orientation="fr"),
                        PairSeeds(read1=(), read2=(), orientation="rf"))
 
-#: Fork-inherited state for sharded :meth:`GenPairPipeline.map_batch`:
-#: ``token -> (pipeline, items, chunk_size)`` registered by the parent
-#: just before its worker pool forks (children inherit the snapshot),
-#: removed once the pool is done.
+#: Fork-inherited state for :class:`StreamExecutor`: ``token ->
+#: pipeline`` registered by the parent just before its worker pool
+#: forks (children inherit the snapshot — including closures and
+#: memory-mapped index views that would not pickle), removed when the
+#: executor closes.
 _FORK_STATE: dict = {}
 _FORK_TOKENS = itertools.count()
 
 
-def _map_shard(shard: Tuple[int, int, int]):
-    """Worker entry: map one shard with fresh per-shard statistics."""
-    token, low, high = shard
-    pipeline, items, chunk_size = _FORK_STATE[token]
-    pipeline.stats = PipelineStats()
-    results = pipeline.map_batch(items[low:high], chunk_size=chunk_size)
-    return results, pipeline.stats
+def _fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` where the
+    platform does not support it (e.g. Windows)."""
+    if not hasattr(os, "fork"):
+        return None
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+class _WorkerFailure:
+    """Pickled stand-in for an exception raised inside a stream worker,
+    carrying the formatted worker-side traceback."""
+
+    def __init__(self, details: str) -> None:
+        self.details = details
+
+
+def _stream_worker(token: int, tasks, results) -> None:
+    """Worker main loop: map task chunks until the ``None`` sentinel.
+
+    Each task is ``(key, items)`` with ``key`` echoed back verbatim
+    (the parent keys chunks ``(epoch, seq)``); the pipeline arrives
+    fork-inherited via :data:`_FORK_STATE`, so the worker shares the
+    parent's SeedMap (including memory-mapped index arrays)
+    copy-on-write.  Statistics are reset per chunk and shipped back
+    alongside the results; an exception becomes a
+    :class:`_WorkerFailure` for that chunk and the worker keeps
+    serving later ones.
+    """
+    pipeline = _FORK_STATE[token]
+    try:
+        while True:
+            task = tasks.get()
+            if task is None:
+                return
+            key, items = task
+            pipeline.stats = PipelineStats()
+            try:
+                # Chunks arrive already normalized by _chunk_stream, so
+                # go straight to the batch engine (same entry the
+                # serial streaming path uses).
+                mapped = pipeline._map_chunk(items)
+            except Exception:
+                results.put((key, _WorkerFailure(traceback.format_exc())))
+                continue
+            results.put((key, (mapped, pipeline.stats)))
+    except KeyboardInterrupt:
+        return
+
+
+def _reap_executor(processes, tasks, results, token) -> None:
+    """GC fallback for an un-close()d :class:`StreamExecutor`: kill the
+    workers, release the queue pipes, and drop the ``_FORK_STATE`` pin.
+    Takes the resources (not the executor) so the finalizer holds no
+    reference that would keep the executor alive."""
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=1.0)
+    for channel in (tasks, results):
+        channel.cancel_join_thread()
+        channel.close()
+    _FORK_STATE.pop(token, None)
+
+
+class StreamExecutor:
+    """Persistent worker-pool streaming executor for a pipeline.
+
+    The concurrency engine behind ``map_stream(workers=N)`` and
+    ``map_batch(workers=N)``: ``workers`` processes are forked **once**
+    at construction (inheriting the pipeline — SeedMap, reference
+    views, fallback closures — copy-on-write) and then serve arbitrarily
+    many chunks until :meth:`close`, instead of a fresh pool being
+    built and torn down per flushed buffer.
+
+    :meth:`map` feeds the pool with double-buffered dispatch — up to
+    ``inflight`` chunks (default ``2 * workers``) are submitted while a
+    read-ahead thread parses the next ones — and merges completed
+    chunks back **in input order** while later chunks are still being
+    mapped, so results are bit-identical to the serial engines.  Peak
+    memory is O(chunk_size x inflight) pairs plus their results.
+
+    Worker statistics are accumulated executor-side and folded into
+    ``pipeline.stats`` exactly once, at :meth:`close` (which the
+    ``with`` statement and ``map_stream`` call for you).  A worker that
+    raises surfaces the original traceback as a ``RuntimeError`` at the
+    failing chunk's position in the output; a worker that *dies* (OOM
+    kill, segfault, ``os._exit``) is detected by liveness polling and
+    aborts the stream with a clear error instead of hanging.
+    """
+
+    def __init__(self, pipeline: GenPairPipeline, workers: int,
+                 chunk_size: int = DEFAULT_BATCH_SIZE,
+                 inflight: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if inflight is None:
+            inflight = DEFAULT_INFLIGHT_PER_WORKER * workers
+        if inflight < workers:
+            raise ValueError("inflight must be at least workers")
+        context = _fork_context()
+        if context is None:
+            raise RuntimeError("StreamExecutor requires the 'fork' "
+                               "multiprocessing start method")
+        self.pipeline = pipeline
+        self.chunk_size = chunk_size
+        self.inflight = inflight
+        self._token = next(_FORK_TOKENS)
+        self._stats = PipelineStats()
+        self._closed = False
+        self._mapping = False
+        self._abandoned = 0
+        self._epoch = 0
+        self._processes: List = []
+        # Queues first (a failure here leaves nothing registered),
+        # then the fork-inherited state, then fork every worker up
+        # front from the (still single-threaded) parent — the queues
+        # exist but have no feeder threads until the first put.
+        self._tasks = context.Queue()
+        self._results = context.Queue()
+        _FORK_STATE[self._token] = pipeline
+        # Safety net for executors that are never close()d: reap the
+        # worker processes, queue pipes, and the _FORK_STATE pin at
+        # garbage collection instead of leaking them for the life of
+        # the interpreter.  close() detaches this.
+        self._finalizer = weakref.finalize(
+            self, _reap_executor, self._processes, self._tasks,
+            self._results, self._token)
+        try:
+            for number in range(workers):
+                process = context.Process(
+                    target=_stream_worker,
+                    args=(self._token, self._tasks, self._results),
+                    name=f"repro-stream-worker-{number}", daemon=True)
+                process.start()
+                self._processes.append(process)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def workers(self) -> int:
+        return len(self._processes)
+
+    def map(self, pairs: Iterable) -> Iterator[PairResult]:
+        """Map a pair iterable through the pool, in input order.
+
+        May be called repeatedly on one executor (the pool persists
+        between calls), but not concurrently and not after
+        :meth:`close`.  Fully consuming or closing the returned
+        generator leaves the pool idle and reusable.
+        """
+        if self._closed:
+            raise RuntimeError("StreamExecutor is closed")
+        if self._mapping:
+            raise RuntimeError("StreamExecutor.map is already running")
+        self._mapping = True
+        # Chunks are keyed (epoch, seq): a map() generator closed early
+        # leaves its in-flight chunks completing in the background, and
+        # the epoch lets a later map() call discard those stale results
+        # instead of merging them into its own stream.
+        self._epoch += 1
+        epoch = self._epoch
+        chunks = read_ahead(
+            self.pipeline._chunk_stream(pairs, self.chunk_size),
+            depth=READ_AHEAD_DEPTH)
+        buffered: dict = {}
+        submitted = 0
+        next_seq = 0
+        exhausted = False
+        source_error: Optional[Exception] = None
+        try:
+            while True:
+                if self._closed:
+                    raise RuntimeError("StreamExecutor was closed while "
+                                       "its map() stream was active")
+                while not exhausted and submitted - next_seq \
+                        < self.inflight:
+                    try:
+                        chunk = next(chunks, None)
+                    except Exception as exc:
+                        # The source (e.g. a truncated FASTQ) failed:
+                        # drain the in-flight chunks first so every
+                        # already-mapped pair is yielded — matching
+                        # what the serial path emits before the same
+                        # error — then re-raise.
+                        source_error = exc
+                        chunk = None
+                    if chunk is None:
+                        exhausted = True
+                        break
+                    self._tasks.put(((epoch, submitted), chunk))
+                    submitted += 1
+                if next_seq == submitted:
+                    break
+                while next_seq not in buffered:
+                    (got_epoch, seq), payload = self._next_result()
+                    if got_epoch != epoch:
+                        continue  # stale chunk of an abandoned run
+                    buffered[seq] = payload
+                payload = buffered.pop(next_seq)
+                if isinstance(payload, _WorkerFailure):
+                    raise RuntimeError(
+                        f"streaming worker failed on chunk {next_seq}; "
+                        f"worker traceback:\n{payload.details}")
+                next_seq += 1
+                results, stats = payload
+                self._stats.merge(stats)
+                yield from results
+            if source_error is not None:
+                raise source_error
+        finally:
+            # Accumulated, not overwritten: chunks abandoned by an
+            # earlier early-closed run keep counting, so close() still
+            # takes the terminate path even if a later run completes.
+            self._abandoned += submitted - next_seq - len(buffered)
+            self._mapping = False
+            chunks.close()
+
+    def close(self) -> None:
+        """Shut the pool down and fold worker stats into the pipeline.
+
+        Graceful when the stream completed (sentinels, then join);
+        abandoned or failed streams terminate the workers instead so
+        teardown — e.g. on Ctrl-C — does not wait for chunks nobody
+        will consume.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            # An active map() generator counts as abandoned work: its
+            # chunks are still in flight and nobody will drain them
+            # (the generator raises on resume once _closed is set).
+            if self._abandoned or self._mapping:
+                for process in self._processes:
+                    process.terminate()
+            else:
+                for _ in self._processes:
+                    self._tasks.put(None)
+            for process in self._processes:
+                process.join(timeout=10.0)
+            for process in self._processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=10.0)
+        finally:
+            self._finalizer.detach()
+            self._tasks.cancel_join_thread()
+            self._tasks.close()
+            self._results.cancel_join_thread()
+            self._results.close()
+            _FORK_STATE.pop(self._token, None)
+            self.pipeline.stats.merge(self._stats)
+            self._stats = PipelineStats()
+
+    def __enter__(self) -> "StreamExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- internals ----------------------------------------------------------
+
+    def _next_result(self):
+        """Wait for any worker's next chunk, polling worker liveness so
+        a dead worker aborts the stream instead of hanging it."""
+        while True:
+            try:
+                return self._results.get(timeout=0.1)
+            except queue_module.Empty:
+                self._check_workers()
+
+    def _check_workers(self) -> None:
+        for process in self._processes:
+            if not process.is_alive():
+                raise RuntimeError(
+                    f"streaming worker {process.name} "
+                    f"(pid {process.pid}) exited with code "
+                    f"{process.exitcode} while chunks were in flight; "
+                    "its results are lost — aborting the stream")

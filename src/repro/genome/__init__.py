@@ -8,8 +8,8 @@ alignment records.
 
 from .cigar import Cigar, CigarError
 from .io_fasta import (DEFAULT_PAIR_CHUNK, FastaError, iter_pairs,
-                       iter_pairs_chunked, read_fasta, read_fastq,
-                       read_pairs, write_fasta, write_fastq)
+                       iter_pairs_chunked, read_ahead, read_fasta,
+                       read_fastq, read_pairs, write_fasta, write_fastq)
 from .reference import (ReferenceError, ReferenceGenome, RepeatProfile,
                         generate_reference)
 from .sam import (METHOD_DP, METHOD_EXACT, METHOD_LIGHT, AlignmentRecord,
@@ -31,8 +31,8 @@ __all__ = [
     "SimulatedPair", "SimulatedRead", "SimulationError", "Variant",
     "decode", "encode", "generate_reference", "hamming_distance",
     "iter_pairs", "iter_pairs_chunked", "kmer_to_int", "kmers",
-    "pack_2bit", "plant_variants", "random_sequence", "read_fasta",
-    "read_fastq", "read_pairs", "reverse_complement",
+    "pack_2bit", "plant_variants", "random_sequence", "read_ahead",
+    "read_fasta", "read_fastq", "read_pairs", "reverse_complement",
     "reverse_complement_str", "unpack_2bit", "write_fasta",
     "write_fastq", "write_sam",
 ]

@@ -10,13 +10,20 @@ Paired input goes through :func:`iter_pairs_chunked` (or its flat wrapper
 O(chunk) memory, R1/R2 record names are checked for agreement, and a
 truncated or unequal pair of files raises :class:`FastaError` instead of
 silently dropping the tail the way ``zip`` would.
+
+:func:`read_ahead` overlaps parsing with downstream work: it drives any
+iterator from a background thread through a bounded buffer, so the
+streaming pipeline's FASTQ reader stays a few chunks ahead of the
+mapping workers instead of alternating read / map / read / map.
 """
 
 from __future__ import annotations
 
 import itertools
+import queue
+import threading
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Tuple, TypeVar, Union
 
 import numpy as np
 
@@ -25,6 +32,7 @@ from .sequence import decode, encode
 
 PathLike = Union[str, Path]
 OptionalChunk = Union[int, None]
+ItemT = TypeVar("ItemT")
 
 #: Default pairs per chunk of :func:`iter_pairs_chunked` — matches the
 #: pipeline's batched engine granularity a few times over so one chunk
@@ -170,6 +178,80 @@ def read_pairs(reads1: PathLike, reads2: PathLike
                ) -> List[Tuple[np.ndarray, np.ndarray, str]]:
     """Eagerly read two paired FASTQ files (same validation as streaming)."""
     return list(iter_pairs(reads1, reads2))
+
+
+#: End-of-stream and failure sentinels for :func:`read_ahead`'s buffer.
+_READ_AHEAD_DONE = object()
+
+
+class _ReadAheadFailure:
+    """Carries an exception from the prefetch thread to the consumer."""
+
+    def __init__(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+def read_ahead(iterable: Iterable[ItemT],
+               depth: int = 2) -> Iterator[ItemT]:
+    """Iterate ``iterable`` through a background prefetch thread.
+
+    Up to ``depth`` items are pulled ahead of the consumer and held in a
+    bounded buffer, so producing the next item (e.g. parsing the next
+    FASTQ chunk) overlaps with whatever the consumer does with the
+    current one (e.g. dispatching it to mapping workers).  Order is
+    preserved, exceptions raised by the source re-raise at the
+    consumer's ``next()``, and closing the returned generator early
+    stops the thread and joins it (bounded: a producer blocked inside
+    the source's own I/O is abandoned as a daemon rather than allowed
+    to wedge teardown).
+
+    The thread only starts on the first ``next()``, so creating the
+    iterator is free (and fork-safe: a worker pool forked before
+    iteration begins never races the prefetch thread).
+    """
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    buffer: queue.Queue = queue.Queue(maxsize=depth)
+    stop = threading.Event()
+
+    def push(item) -> bool:
+        while not stop.is_set():
+            try:
+                buffer.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def produce() -> None:
+        try:
+            for item in iterable:
+                if not push(item):
+                    return
+        except BaseException as exc:
+            push(_ReadAheadFailure(exc))
+            return
+        push(_READ_AHEAD_DONE)
+
+    thread = threading.Thread(target=produce, name="repro-read-ahead",
+                              daemon=True)
+    thread.start()
+    try:
+        while True:
+            item = buffer.get()
+            if item is _READ_AHEAD_DONE:
+                return
+            if isinstance(item, _ReadAheadFailure):
+                raise item.exc
+            yield item
+    finally:
+        stop.set()
+        # Bounded join: the producer checks ``stop`` between items, but
+        # may be parked inside a blocking read of the source (a stalled
+        # pipe, a network mount).  A daemon thread stuck there cannot be
+        # cancelled — abandon it rather than wedging teardown (it exits
+        # on its own at the next item or at interpreter shutdown).
+        thread.join(timeout=1.0)
 
 
 def write_fastq(path: PathLike,

@@ -126,12 +126,13 @@ class SamWriter:
     """Incremental SAM writer: header up front, records as they arrive.
 
     The streaming ``map`` path hands each chunk's results straight here,
-    so writing a SAM file needs O(1) memory regardless of input size.
-    Use as a context manager::
+    so writing a SAM file needs O(1) memory regardless of input size —
+    with a multi-worker stream, :meth:`drain` writes each chunk the
+    moment the ordered merge releases it, while later chunks are still
+    being mapped.  Use as a context manager::
 
         with SamWriter("out.sam", reference=reference) as writer:
-            for result in pipeline.map_stream(pairs):
-                writer.write_pair(result)
+            writer.drain(pipeline.map_stream(pairs, workers=4))
 
     :attr:`count` tracks records written so far.
     """
@@ -167,6 +168,26 @@ class SamWriter:
         for record in records:
             self.write(record)
         return self.count - before
+
+    def drain(self, results: Iterable) -> int:
+        """Write a stream of pipeline ``PairResult``s as they arrive.
+
+        Pulls ``results`` one element at a time (keeping a lazy
+        ``map_stream`` generator lazy) and writes both records of each
+        pair immediately, so disk output overlaps with mapping instead
+        of waiting for the stream to finish.  Flushes once the stream
+        ends and returns the number of pairs drained by this call.
+        """
+        drained = 0
+        for result in results:
+            self.write_pair(result)
+            drained += 1
+        self.flush()
+        return drained
+
+    def flush(self) -> None:
+        """Push buffered records to the OS (e.g. before a checkpoint)."""
+        self._handle.flush()
 
     def close(self) -> None:
         self._handle.close()

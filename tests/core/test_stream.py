@@ -61,23 +61,59 @@ class TestMapStream:
                                          chunk_size=32, workers=2))
         assert list(map(result_signature, expected)) \
             == list(map(result_signature, actual))
+        # Worker stats were folded in once, at pool shutdown.
+        assert solo.stats == sharded.stats
 
-    def test_workers_widen_the_stream_buffer(self, small_reference,
-                                             seedmap, sample_pairs):
-        # One fork pool per flushed buffer: with workers=N the buffer
-        # grows to N x chunk_size so pool setup amortizes.
+    def test_worker_stream_consumption_is_bounded(self, small_reference,
+                                                  seedmap, sample_pairs):
+        # The persistent pool is fed chunk by chunk with a bounded
+        # number of chunks in flight — never the whole input.  With
+        # inflight submitted chunks, the read-ahead depth, and partial
+        # chunks, consumption after the first result cannot exceed
+        # (inflight + depth + 3) x chunk_size pairs.
+        from repro.core.pipeline import READ_AHEAD_DEPTH
+
         pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
-        calls = []
-        original = pipeline.map_batch
+        consumed = []
 
-        def spy(items, chunk_size, workers=None):
-            calls.append(len(items))
-            return original(items, chunk_size=chunk_size)
+        def feed():
+            for index, pair in enumerate(sample_pairs):
+                consumed.append(index)
+                yield pair
 
-        pipeline.map_batch = spy
-        list(pipeline.map_stream(iter(sample_pairs), chunk_size=16,
-                                 workers=4))
-        assert calls[:-1] == [64] * (len(sample_pairs) // 64)
+        chunk_size, inflight = 8, 2
+        stream = pipeline.map_stream(feed(), chunk_size=chunk_size,
+                                     workers=2, inflight=inflight)
+        next(stream)
+        bound = (inflight + READ_AHEAD_DEPTH + 3) * chunk_size
+        assert len(consumed) <= bound < len(sample_pairs)
+        assert len(list(stream)) == len(sample_pairs) - 1
+        assert len(consumed) == len(sample_pairs)
+
+
+class TestStreamNaming:
+    def test_unnamed_tuples_numbered_globally(self, small_reference,
+                                              seedmap, sample_pairs):
+        # Regression: synthetic pair{N} names used a chunk-relative
+        # index, so unnamed tuples collided across stream buffers
+        # (pair0, pair1, ... repeated every chunk).
+        tuples = [(pair.read1.codes, pair.read2.codes)
+                  for pair in sample_pairs]
+        pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
+        names = [result.name for result in
+                 pipeline.map_stream(iter(tuples), chunk_size=16)]
+        assert names == [f"pair{i}" for i in range(len(tuples))]
+        assert len(set(names)) == len(tuples)
+
+    def test_unnamed_tuples_numbered_globally_with_workers(
+            self, small_reference, seedmap, sample_pairs):
+        tuples = [(pair.read1.codes, pair.read2.codes)
+                  for pair in sample_pairs]
+        pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
+        names = [result.name for result in
+                 pipeline.map_stream(iter(tuples), chunk_size=16,
+                                     workers=2)]
+        assert names == [f"pair{i}" for i in range(len(tuples))]
 
 
 class TestForkGuard:
@@ -109,3 +145,21 @@ class TestForkGuard:
             == list(map(result_signature, results))
         assert solo.stats == pipeline.stats
         assert "single-process" in capsys.readouterr().err
+
+    def test_note_printed_once_per_pipeline(self, monkeypatch, capsys,
+                                            small_reference, seedmap,
+                                            sample_pairs):
+        # Regression: a degraded stream used to print the note once per
+        # flushed buffer; it must appear once per pipeline.
+        monkeypatch.delattr(os, "fork")
+        pipeline = GenPairPipeline(small_reference, seedmap=seedmap)
+        results = list(pipeline.map_stream(iter(sample_pairs),
+                                           chunk_size=8, workers=2))
+        assert len(results) == len(sample_pairs)
+        pipeline.map_batch(sample_pairs[:4], workers=2)
+        err = capsys.readouterr().err
+        assert err.count("single-process") == 1
+        # A fresh pipeline gets its own (single) note.
+        other = GenPairPipeline(small_reference, seedmap=seedmap)
+        other.map_batch(sample_pairs[:4], workers=2)
+        assert capsys.readouterr().err.count("single-process") == 1

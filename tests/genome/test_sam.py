@@ -102,3 +102,30 @@ class TestSamWriter:
         lines = path.read_text().splitlines()
         assert lines[0].startswith("@HD")
         assert lines[1].startswith("@SQ")
+
+    def test_drain_writes_lazily_and_counts_pairs(self, tmp_path):
+        class FakeResult:
+            def __init__(self, name):
+                self.record1 = AlignmentRecord(f"{name}/1", "chr1", 0,
+                                               cigar=Cigar.parse("4="))
+                self.record2 = AlignmentRecord(f"{name}/2", "chr1", 9,
+                                               cigar=Cigar.parse("4="))
+
+        served = []
+
+        def stream():
+            for index in range(5):
+                served.append(index)
+                yield FakeResult(f"p{index}")
+
+        path = tmp_path / "drained.sam"
+        with SamWriter(path) as writer:
+            results = stream()
+            assert served == []  # drain pulls, it does not pre-buffer
+            assert writer.drain(results) == 5
+            assert writer.count == 10
+        body = [line.split("\t")[0]
+                for line in path.read_text().splitlines()
+                if not line.startswith("@")]
+        assert body == [f"p{i}/{mate}" for i in range(5)
+                        for mate in (1, 2)]

@@ -25,9 +25,33 @@ class TestParser:
             args = parser.parse_args(argv)
             assert callable(args.func)
 
+    @pytest.mark.parametrize("flag,value", [("--workers", "0"),
+                                            ("--workers", "-2"),
+                                            ("--workers", "two"),
+                                            ("--batch-size", "-1"),
+                                            ("--batch-size", "many")])
+    def test_map_rejects_bad_worker_and_batch_values(self, capsys, flag,
+                                                     value):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["map", "--reference", "r", "--reads1",
+                               "a", "--reads2", "b", flag, value])
+        assert excinfo.value.code == 2
+        assert flag in capsys.readouterr().err
+
+    def test_map_accepts_zero_batch_size(self):
+        args = build_parser().parse_args(
+            ["map", "--reference", "r", "--reads1", "a", "--reads2",
+             "b", "--batch-size", "0"])
+        assert args.batch_size == 0
+
 
 class TestWorkflow:
-    def test_simulate_map_call_roundtrip(self, tmp_path, capsys):
+    def test_simulate_map_call_roundtrip(self, tmp_path, capsys,
+                                         monkeypatch):
+        # Pretend to have CPUs so --workers 2 exercises the pool even
+        # on single-core test machines (the cap would degrade it).
+        monkeypatch.setattr("repro.cli._available_cpus", lambda: 4)
         prefix = str(tmp_path / "demo")
         assert main(["simulate", "--out", prefix, "--pairs", "80",
                      "--chromosomes", "40000", "--seed", "3"]) == 0
@@ -44,10 +68,14 @@ class TestWorkflow:
                 if not line.startswith("@")]
         assert len(body) == 160
 
-        # Per-pair engine (--batch-size 0) and sharded batch mode write
-        # the same records as the default batched engine.
+        # Per-pair engine (--batch-size 0) and the persistent
+        # worker-pool streaming executor (with a small batch size, so
+        # the pool really serves several chunks) write the same
+        # records as the default batched engine.
         for suffix, extra in (("perpair", ["--batch-size", "0"]),
-                              ("workers", ["--workers", "2"])):
+                              ("workers", ["--workers", "2"]),
+                              ("stream", ["--workers", "2",
+                                          "--batch-size", "16"])):
             alt_path = str(tmp_path / f"out_{suffix}.sam")
             assert main(["map", "--reference", prefix + "_ref.fa",
                          "--reads1", prefix + "_1.fq",
@@ -62,7 +90,9 @@ class TestWorkflow:
         out = capsys.readouterr().out
         assert "mapped 80 pairs" in out
 
-    def test_index_build_map_roundtrip(self, tmp_path, capsys):
+    def test_index_build_map_roundtrip(self, tmp_path, capsys,
+                                       monkeypatch):
+        monkeypatch.setattr("repro.cli._available_cpus", lambda: 4)
         prefix = str(tmp_path / "demo")
         assert main(["simulate", "--out", prefix, "--pairs", "40",
                      "--chromosomes", "30000", "--seed", "9"]) == 0
@@ -98,6 +128,20 @@ class TestWorkflow:
         assert main(["index", "build",
                      "--reference", prefix + "_ref.fa"]) == 0
         assert os.path.exists(prefix + "_ref.fa.rpix")
+
+    def test_map_caps_workers_at_cpu_count(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.setattr("repro.cli._available_cpus", lambda: 2)
+        prefix = str(tmp_path / "d")
+        assert main(["simulate", "--out", prefix, "--pairs", "8",
+                     "--chromosomes", "8000", "--seed", "5"]) == 0
+        assert main(["map", "--reference", prefix + "_ref.fa",
+                     "--reads1", prefix + "_1.fq",
+                     "--reads2", prefix + "_2.fq",
+                     "--out", str(tmp_path / "c.sam"),
+                     "--no-fallback", "--workers", "64"]) == 0
+        err = capsys.readouterr().err
+        assert "capping at 2" in err
 
     def test_map_requires_reference_xor_index(self, tmp_path, capsys):
         assert main(["map", "--reads1", "a.fq", "--reads2", "b.fq"]) == 2

@@ -2,6 +2,11 @@
 
 Public API layout:
 
+* :mod:`repro.api` — **the public entry point**: the unified
+  :class:`~repro.api.MappingConfig`, the :class:`~repro.api.Mapper`
+  facade (owns the memory-mapped index and a reused persistent worker
+  pool), the stage registries, and the ``repro serve`` daemon plus its
+  :class:`~repro.api.Client`;
 * :mod:`repro.genome` — sequences, references, simulation, CIGAR, SAM;
 * :mod:`repro.hashing` — xxHash32 (scalar and vectorized);
 * :mod:`repro.align` — affine-gap DP aligners and chaining;
@@ -24,10 +29,11 @@ Public API layout:
 * :mod:`repro.analysis` — the paper's §3 profiling observations.
 """
 
-from . import align, analysis, core, filters, genome, hashing, hw, \
-    index, mapper, util, variants
+from . import align, analysis, api, core, filters, genome, hashing, \
+    hw, index, mapper, util, variants
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["align", "analysis", "core", "filters", "genome", "hashing",
-           "hw", "index", "mapper", "util", "variants", "__version__"]
+__all__ = ["align", "analysis", "api", "core", "filters", "genome",
+           "hashing", "hw", "index", "mapper", "util", "variants",
+           "__version__"]

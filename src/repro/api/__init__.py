@@ -1,0 +1,91 @@
+"""The public mapping API: one facade over the whole toolchain.
+
+This package is the supported programmatic surface of the
+reproduction.  Everything the ``repro`` CLI can do — open or build an
+index, stream paired reads through the batched engine and the
+persistent worker pool, write SAM — is reachable through four objects:
+
+* :class:`MappingConfig` — every knob of a run in one validated,
+  round-trippable object, with the canonical
+  :class:`IndexFingerprint` shared with :mod:`repro.index`;
+* :class:`Mapper` — the context-manager facade: construct once from an
+  index file or a reference, then call :meth:`~Mapper.map`,
+  :meth:`~Mapper.map_file`, and :meth:`~Mapper.to_sam` as often as
+  needed; the memory-mapped index and the forked worker pool are owned
+  by the facade and **reused across calls**;
+* :class:`MapServer` / :func:`serve` — the ``repro serve`` daemon: a
+  long-running process holding the warm ``Mapper`` and answering
+  newline-delimited JSON mapping requests over a UNIX socket;
+* :class:`Client` — the thin connection object behind ``repro client``.
+
+Hello world::
+
+    from repro.api import Mapper
+
+    with Mapper.from_index("demo.rpix") as mapper:
+        results = mapper.map_file("demo_1.fq", "demo_2.fq")
+        mapper.to_sam(results, "demo.sam")
+        print(mapper.last_stats.pairs_total, "pairs mapped")
+
+Stage selection is declarative through the registries
+(:data:`~repro.api.registry.FILTER_CHAINS`,
+:data:`~repro.api.registry.ALIGNERS`)::
+
+    config = MappingConfig(filter_chain="shd", aligner="light")
+    with Mapper.from_index("demo.rpix", config=config) as mapper:
+        ...
+
+Attributes resolve lazily (PEP 562) so low-level modules —
+``repro.index`` imports the canonical fingerprint from
+:mod:`repro.api.config` — can depend on this package without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "MappingConfig": "config",
+    "MappingConfigError": "config",
+    "IndexFingerprint": "config",
+    "UNSET": "config",
+    "ALIGNERS": "registry",
+    "FILTER_CHAINS": "registry",
+    "RegistryError": "registry",
+    "StageRegistry": "registry",
+    "Mapper": "mapper",
+    "MapServer": "server",
+    "ServerError": "server",
+    "ServerStats": "server",
+    "serve": "server",
+    "Client": "client",
+    "ClientError": "client",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .client import Client, ClientError
+    from .config import (UNSET, IndexFingerprint, MappingConfig,
+                         MappingConfigError)
+    from .mapper import Mapper
+    from .registry import (ALIGNERS, FILTER_CHAINS, RegistryError,
+                           StageRegistry)
+    from .server import MapServer, ServerError, ServerStats, serve
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

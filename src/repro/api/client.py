@@ -1,0 +1,158 @@
+"""Thin client for the ``repro serve`` daemon (the ``repro client`` CLI).
+
+One connection, newline-delimited JSON requests, blocking responses —
+deliberately boring: all the intelligence lives server-side in the
+warm :class:`~repro.api.Mapper`.  Usable as a context manager::
+
+    from repro.api import Client
+
+    with Client("demo.rpix.sock") as client:
+        client.ping()
+        report = client.map_file("demo_1.fq", "demo_2.fq", "demo.sam")
+        print(report["pairs"], "pairs in", report["elapsed_s"], "s")
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+class ClientError(RuntimeError):
+    """The daemon was unreachable, or answered a request with an error."""
+
+
+class Client:
+    """A connection to a running ``repro serve`` daemon.
+
+    ``timeout`` bounds every socket operation; the default ``None``
+    waits indefinitely, because a daemon-side ``map_file`` of a large
+    input legitimately takes as long as the mapping does — pass a
+    bound when probing liveness (``Client(path, timeout=5)``).
+    """
+
+    def __init__(self, socket_path: PathLike,
+                 timeout: Optional[float] = None) -> None:
+        self.socket_path = str(socket_path)
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover
+            raise ClientError("repro client requires UNIX-domain "
+                              "sockets, which this platform lacks")
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(self.socket_path)
+        except OSError as exc:
+            self._sock.close()
+            raise ClientError(
+                f"cannot reach daemon at {self.socket_path!r}: {exc} "
+                "(is `repro serve` running?)") from None
+        self._reader = self._sock.makefile("rb")
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object; return the daemon's response.
+
+        Raises :class:`ClientError` on transport failure or when the
+        daemon answers ``ok: false``.
+        """
+        try:
+            self._sock.sendall(json.dumps(payload).encode() + b"\n")
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ClientError(f"daemon connection failed: {exc}") \
+                from None
+        if not line:
+            raise ClientError("daemon closed the connection "
+                              "mid-request")
+        try:
+            response = json.loads(line)
+        except ValueError:
+            raise ClientError("daemon sent an unparseable response "
+                              "line") from None
+        if not response.get("ok"):
+            raise ClientError(response.get("error",
+                                           "daemon reported failure"))
+        return response
+
+    # -- operations ----------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to shut down gracefully."""
+        return self.request({"op": "shutdown"})
+
+    def map_pairs(self, pairs: Iterable, header: bool = False
+                  ) -> Dict[str, Any]:
+        """Map inline pairs; reads may be ACGT strings or code arrays.
+
+        Returns the raw response: ``sam`` (record lines, prefixed with
+        the header lines when ``header=True``), per-request ``stats``,
+        and ``elapsed_s``.
+        """
+        wire: List[List[str]] = []
+        for number, entry in enumerate(pairs):
+            try:
+                if isinstance(entry, dict):
+                    # The name is optional, matching the daemon (which
+                    # numbers unnamed pairs by request position).
+                    item = [_as_text(entry["read1"]),
+                            _as_text(entry["read2"])]
+                    if entry.get("name") is not None:
+                        item.append(str(entry["name"]))
+                else:
+                    entry = list(entry)
+                    item = [_as_text(entry[0]), _as_text(entry[1])]
+                    if len(entry) > 2:
+                        item.append(str(entry[2]))
+            except (IndexError, KeyError):
+                raise ClientError(
+                    f"pair {number}: expected (read1, read2[, name]) "
+                    "or {'read1': ..., 'read2': ..., 'name'?: ...}") \
+                    from None
+            wire.append(item)
+        return self.request({"op": "map", "pairs": wire,
+                             "header": header})
+
+    def map_file(self, reads1: PathLike, reads2: PathLike,
+                 out: PathLike) -> Dict[str, Any]:
+        """Map FASTQ paths daemon-side, writing ``out`` daemon-side.
+
+        Paths are resolved by the daemon process, so relative paths
+        are made absolute here first.
+        """
+        return self.request({
+            "op": "map_file",
+            "reads1": str(Path(reads1).absolute()),
+            "reads2": str(Path(reads2).absolute()),
+            "out": str(Path(out).absolute())})
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _as_text(read) -> str:
+    """ACGT text for a read given as text or as a code array."""
+    if isinstance(read, str):
+        return read
+    from ..genome.sequence import decode
+
+    return decode(read)

@@ -1,0 +1,218 @@
+"""Unified mapping configuration and the canonical index fingerprint.
+
+:class:`MappingConfig` is the one knob object of the public API: it
+consolidates the algorithmic parameters of
+:class:`~repro.core.pipeline.GenPairConfig` with the index, batching,
+worker, and stage-selection knobs that used to be scattered across
+``GenPairPipeline``, ``StreamExecutor``, ``open_index``, and the CLI.
+A config validates itself eagerly (:meth:`MappingConfig.validate`),
+round-trips through plain dictionaries (:meth:`MappingConfig.to_dict` /
+:meth:`MappingConfig.from_dict` — the daemon wire format), and derives
+the engine-facing :class:`~repro.core.pipeline.GenPairConfig` on demand.
+
+:class:`IndexFingerprint` is the **single canonical fingerprint** of an
+index-compatible configuration: the ``(seed_length, filter_threshold,
+step)`` triple a SeedMap was built with.  It is defined once, in
+:mod:`repro.core.fingerprint` (below both this package and
+``repro.index``, so either can import it without layering cycles), and
+re-exported here: ``repro.index`` persists it in every index header and
+validates it on open, and :meth:`MappingConfig.fingerprint` produces
+the same object — so "does this config match that index?" is one
+comparison with one definition, not two copies of the logic drifting
+apart.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..align.scoring import HIGH_QUALITY_THRESHOLD
+from ..core.fingerprint import UNSET, IndexFingerprint
+from ..core.pairfilter import DEFAULT_DELTA
+from ..core.seedmap import DEFAULT_FILTER_THRESHOLD
+
+__all__ = ["UNSET", "IndexFingerprint", "MappingConfig",
+           "MappingConfigError"]
+
+
+class MappingConfigError(ValueError):
+    """A :class:`MappingConfig` failed validation, or a config and an
+    index disagree on the fingerprint."""
+
+
+@dataclass(frozen=True)
+class MappingConfig:
+    """Every knob of a mapping run, in one validated object.
+
+    Groups, mirroring the layers the values configure:
+
+    * **fingerprint** — ``seed_length``, ``filter_threshold``, ``step``:
+      what the SeedMap/index must have been built with
+      (:meth:`fingerprint`);
+    * **algorithm** — the remaining
+      :class:`~repro.core.pipeline.GenPairConfig` parameters
+      (``delta``, ``max_edits``, score/fallback knobs);
+    * **stages** — ``filter_chain`` and ``aligner`` name registry
+      entries (:mod:`repro.api.registry`), selecting the pre-alignment
+      candidate screen and the candidate aligner declaratively;
+    * **execution** — ``batch_size`` (0 selects the scalar reference
+      engine), ``workers`` (>1 streams chunks through a persistent
+      forked pool), ``inflight`` (in-flight chunk budget, default
+      ``2 x workers``);
+    * **environment** — ``full_fallback`` (map residual pairs with the
+      baseline MM2 pipeline) and ``verify_index`` (crc-check arrays on
+      index open).
+    """
+
+    # fingerprint
+    seed_length: int = 50
+    filter_threshold: Optional[int] = DEFAULT_FILTER_THRESHOLD
+    step: int = 1
+    # algorithm
+    seeds_per_read: int = 3
+    delta: int = DEFAULT_DELTA
+    max_edits: int = 5
+    score_threshold: int = HIGH_QUALITY_THRESHOLD
+    fallback_bandwidth: int = 16
+    fallback_pad: int = 24
+    max_joint_candidates: int = 16
+    min_dp_score_fraction: float = 0.5
+    # stages
+    filter_chain: str = "none"
+    aligner: str = "light"
+    # execution
+    batch_size: int = 256
+    workers: int = 1
+    inflight: Optional[int] = None
+    # environment
+    full_fallback: bool = True
+    verify_index: bool = True
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation ----------------------------------------------------
+
+    def validate(self) -> "MappingConfig":
+        """Raise :class:`MappingConfigError` listing every bad field."""
+        problems: List[str] = []
+        for name, minimum in (("seed_length", 1), ("step", 1),
+                              ("seeds_per_read", 1), ("delta", 1),
+                              ("max_edits", 0), ("fallback_bandwidth", 1),
+                              ("fallback_pad", 0),
+                              ("max_joint_candidates", 1),
+                              ("batch_size", 0), ("workers", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < minimum:
+                problems.append(f"{name} must be an integer >= {minimum}, "
+                                f"got {value!r}")
+        if self.filter_threshold is not None and (
+                not isinstance(self.filter_threshold, int)
+                or isinstance(self.filter_threshold, bool)
+                or self.filter_threshold < 1):
+            problems.append("filter_threshold must be None (unfiltered) "
+                            f"or an integer >= 1, got "
+                            f"{self.filter_threshold!r}")
+        if self.inflight is not None and (
+                not isinstance(self.inflight, int)
+                or self.inflight < max(self.workers, 1)):
+            problems.append("inflight must be None or an integer >= "
+                            f"workers, got {self.inflight!r}")
+        if not isinstance(self.min_dp_score_fraction, (int, float)) \
+                or not 0.0 <= float(self.min_dp_score_fraction) <= 1.0:
+            problems.append("min_dp_score_fraction must be within "
+                            f"[0, 1], got {self.min_dp_score_fraction!r}")
+        for name in ("filter_chain", "aligner"):
+            if not isinstance(getattr(self, name), str):
+                problems.append(f"{name} must be a registry name string, "
+                                f"got {getattr(self, name)!r}")
+        if problems:
+            raise MappingConfigError(
+                "invalid MappingConfig: " + "; ".join(problems))
+        return self
+
+    def resolve_stages(self) -> None:
+        """Check ``filter_chain``/``aligner`` against the registries.
+
+        Separate from :meth:`validate` so constructing a config stays
+        import-light; :class:`~repro.api.Mapper` calls this before
+        building a pipeline, and the error names the available stages.
+        """
+        from .registry import ALIGNERS, FILTER_CHAINS
+
+        FILTER_CHAINS.require(self.filter_chain)
+        ALIGNERS.require(self.aligner)
+
+    # -- derivations ---------------------------------------------------
+
+    def fingerprint(self) -> IndexFingerprint:
+        """The canonical index fingerprint this config requires."""
+        return IndexFingerprint(seed_length=self.seed_length,
+                                filter_threshold=self.filter_threshold,
+                                step=self.step)
+
+    def genpair(self):
+        """The engine-facing :class:`~repro.core.pipeline.GenPairConfig`."""
+        from ..core.pipeline import GenPairConfig
+
+        return GenPairConfig(
+            seed_length=self.seed_length,
+            seeds_per_read=self.seeds_per_read,
+            delta=self.delta,
+            filter_threshold=self.filter_threshold,
+            max_edits=self.max_edits,
+            score_threshold=self.score_threshold,
+            fallback_bandwidth=self.fallback_bandwidth,
+            fallback_pad=self.fallback_pad,
+            max_joint_candidates=self.max_joint_candidates,
+            min_dp_score_fraction=self.min_dp_score_fraction)
+
+    def replace(self, **changes: Any) -> "MappingConfig":
+        """A copy with ``changes`` applied (and re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- wire format ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON-types dictionary; round-trips via :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MappingConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected by name so a version-skewed daemon
+        request fails loudly instead of silently dropping knobs.
+        """
+        known = {spec.name for spec in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise MappingConfigError(
+                f"unknown MappingConfig field(s): {', '.join(unknown)}")
+        return cls(**payload)
+
+    @classmethod
+    def from_fingerprint(cls, fingerprint: IndexFingerprint,
+                         **overrides: Any) -> "MappingConfig":
+        """A config adopting an index's fingerprint (plus overrides).
+
+        A fingerprint field passed in ``overrides`` is an
+        *expectation*, not an override: the fingerprint is the ground
+        truth, so a conflicting value raises
+        :class:`MappingConfigError` (the ``map --index
+        --filter-threshold`` gate) instead of silently reconfiguring.
+        """
+        problems = fingerprint.conflicts(
+            seed_length=overrides.pop("seed_length", None),
+            filter_threshold=overrides.pop("filter_threshold", UNSET),
+            step=overrides.pop("step", None))
+        if problems:
+            raise MappingConfigError(
+                "index fingerprint mismatch: built with "
+                f"{'; '.join(problems)}")
+        return cls(seed_length=fingerprint.seed_length,
+                   filter_threshold=fingerprint.filter_threshold,
+                   step=fingerprint.step, **overrides)

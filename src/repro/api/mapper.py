@@ -1,0 +1,341 @@
+"""The :class:`Mapper` facade: one object that owns a whole mapping setup.
+
+Before this facade, serving reads meant hand-wiring four modules:
+``open_index`` for the memory-mapped tables, ``GenPairPipeline`` with a
+``GenPairConfig``, ``StreamExecutor`` for the worker pool, and
+``SamWriter`` for output — with the worker pool forked anew on *every*
+``map_stream(workers=N)`` call.  :class:`Mapper` packages that wiring
+behind a context manager:
+
+* :meth:`Mapper.from_index` / :meth:`Mapper.from_reference` construct
+  it (mmap-cheap and build-once respectively), validating the config
+  against the index's canonical fingerprint;
+* the :class:`~repro.core.pipeline.StreamExecutor` worker pool is
+  created **lazily on the first mapping call and reused across calls**
+  until :meth:`close` — the warm-pool property the ``repro serve``
+  daemon is built on;
+* stage selection (``filter_chain``, ``aligner``) resolves through the
+  registries, so a config fully determines the pipeline;
+* statistics have an explicit lifecycle: :attr:`last_stats` is the
+  just-completed run, :attr:`stats` accumulates across runs, and
+  :meth:`reset_stats` rewinds the accumulator — no more counters
+  silently bleeding between successive runs on one pipeline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Iterator, List, Optional, Union
+
+from ..core.pipeline import GenPairPipeline, PairResult, PipelineStats, \
+    StreamExecutor, _fork_context
+from ..genome.io_fasta import iter_pairs, read_fasta
+from ..genome.reference import ReferenceGenome
+from ..genome.sam import SamWriter, sam_header_lines, sam_record_lines
+from .config import MappingConfig, MappingConfigError
+from .registry import ALIGNERS, FILTER_CHAINS
+
+PathLike = Union[str, Path]
+
+
+def _lazy_full_fallback(reference: ReferenceGenome):
+    """Full-DP fallback that defers the O(genome) minimizer-index build
+    until the first pair actually needs it, so a mapper whose pairs all
+    stay on the GenPair path keeps mmap-cheap startup."""
+    from ..mapper import Mm2LikeMapper, make_full_fallback
+
+    state: dict = {}
+
+    def fallback(read1, read2, name):
+        if "fn" not in state:
+            state["fn"] = make_full_fallback(Mm2LikeMapper(reference))
+        return state["fn"](read1, read2, name)
+
+    return fallback
+
+
+class Mapper:
+    """Context-manager facade over index, pipeline, and worker pool.
+
+    Construct through :meth:`from_index` or :meth:`from_reference`;
+    the plain constructor accepts pre-built objects (the power-user
+    seam the classmethods and the daemon share).
+
+    One mapping run at a time: :meth:`map`, :meth:`map_file`, and the
+    :meth:`map_stream` generator may be called repeatedly — the worker
+    pool persists between calls — but not concurrently (a second call
+    while a stream is being consumed raises).
+    """
+
+    def __init__(self, reference: ReferenceGenome, seedmap,
+                 config: Optional[MappingConfig] = None,
+                 index=None) -> None:
+        self.config = (config if config is not None
+                       else MappingConfig()).validate()
+        self.config.resolve_stages()
+        self.reference = reference
+        self.index = index
+        chain = FILTER_CHAINS.create(self.config.filter_chain,
+                                     self.config)
+        # An empty chain means "screen nothing": hand the pipeline None
+        # so the candidate hot path stays exactly the historical code.
+        screen = chain if len(chain) else None
+        aligner = ALIGNERS.create(self.config.aligner, self.config)
+        full_fallback = None
+        if self.config.full_fallback:
+            if self._wants_pool():
+                # Forked workers inherit a pre-fork build copy-on-write;
+                # building lazily would make every worker rebuild it.
+                from ..mapper import Mm2LikeMapper, make_full_fallback
+                full_fallback = make_full_fallback(
+                    Mm2LikeMapper(reference))
+            else:
+                full_fallback = _lazy_full_fallback(reference)
+        self.pipeline = GenPairPipeline(
+            reference, seedmap=seedmap, config=self.config.genpair(),
+            full_fallback=full_fallback, aligner=aligner,
+            candidate_screen=screen)
+        self._executor: Optional[StreamExecutor] = None
+        self._total = PipelineStats()
+        self.last_stats = PipelineStats()
+        self._running = False
+        self._closed = False
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_index(cls, path: PathLike,
+                   config: Optional[MappingConfig] = None,
+                   **overrides: Any) -> "Mapper":
+        """Open a persistent index and build a mapper over it.
+
+        With ``config=None`` the mapper adopts the index's fingerprint
+        (``overrides`` tune the non-fingerprint knobs, e.g.
+        ``workers=4``).  An explicit ``config`` must agree with the
+        index fingerprint exactly — a mismatch raises
+        :class:`MappingConfigError` naming every conflicting field, so
+        a stale index is rejected loudly instead of silently serving a
+        differently-configured pipeline.
+        """
+        from ..index import open_index
+
+        if config is not None and overrides:
+            raise MappingConfigError(
+                "pass either a full MappingConfig or keyword "
+                "overrides, not both")
+        verify = overrides.get("verify_index",
+                               config.verify_index if config is not None
+                               else True)
+        index = open_index(path, verify=verify)
+        if config is None:
+            config = MappingConfig.from_fingerprint(index.fingerprint,
+                                                    **overrides)
+        else:
+            problems = index.fingerprint.conflicts(
+                seed_length=config.seed_length,
+                filter_threshold=config.filter_threshold,
+                step=config.step)
+            if problems:
+                raise MappingConfigError(
+                    f"config does not match index {str(path)!r}: index "
+                    f"was built with {'; '.join(problems)}; rebuild "
+                    "the index or adopt its fingerprint with "
+                    "MappingConfig.from_fingerprint")
+        return cls(index.reference, index.seedmap, config=config,
+                   index=index)
+
+    @classmethod
+    def from_reference(cls, reference: Union[PathLike, ReferenceGenome],
+                       config: Optional[MappingConfig] = None,
+                       **overrides: Any) -> "Mapper":
+        """Build a mapper from a FASTA path or an in-memory reference.
+
+        The SeedMap is built in-process with the config's fingerprint
+        parameters — the pay-per-run path; prefer
+        :meth:`from_index` + ``repro index build`` for repeated runs.
+        """
+        from ..core.seedmap import SeedMap
+
+        if config is not None and overrides:
+            raise MappingConfigError(
+                "pass either a full MappingConfig or keyword "
+                "overrides, not both")
+        if config is None:
+            config = MappingConfig(**overrides)
+        if not isinstance(reference, ReferenceGenome):
+            reference = read_fasta(reference)
+        seedmap = SeedMap.build(reference,
+                                seed_length=config.seed_length,
+                                filter_threshold=config.filter_threshold,
+                                step=config.step)
+        return cls(reference, seedmap, config=config)
+
+    # -- mapping -------------------------------------------------------
+
+    def map(self, pairs: Iterable) -> List[PairResult]:
+        """Map pairs eagerly; returns results in input order.
+
+        Accepts what the pipeline accepts: ``(read1, read2[, name])``
+        tuples of code arrays, or objects with ``read1``/``read2``/
+        ``name`` attributes (e.g. ``SimulatedPair``).
+        """
+        return list(self.map_stream(pairs))
+
+    def map_stream(self, pairs: Iterable) -> Iterator[PairResult]:
+        """Map a lazy pair stream, yielding results as chunks finish.
+
+        The worker pool (``config.workers > 1``) is created on the
+        first call and **reused** by every later one; per-run
+        statistics land in :attr:`last_stats` when the returned
+        generator is exhausted or closed.
+        """
+        self._assert_open()
+        if self._running:
+            raise RuntimeError("Mapper is already mapping; one run at "
+                               "a time")
+        generator = self._run(pairs)
+        # Prime to the handshake yield: the run slot is claimed *now*,
+        # at call time — a second stream created before this one is
+        # consumed raises above instead of silently interleaving — and
+        # a started generator's finally is guaranteed to release it
+        # even if the stream is abandoned unconsumed.
+        next(generator)
+        return generator
+
+    def map_file(self, reads1: PathLike,
+                 reads2: PathLike) -> Iterator[PairResult]:
+        """Map two paired FASTQ files, streaming in O(batch) memory."""
+        chunk = self.config.batch_size if self.config.batch_size > 0 \
+            else None
+        return self.map_stream(iter_pairs(reads1, reads2,
+                                          chunk_size=chunk))
+
+    def _run(self, pairs: Iterable) -> Iterator[PairResult]:
+        config = self.config
+        pipeline = self.pipeline
+        self._running = True
+        try:
+            # Fresh per-run counters; the previous run's totals live
+            # on in self._total / self.last_stats.
+            pipeline.stats = PipelineStats()
+            yield None  # handshake consumed by map_stream's prime
+            executor = self._ensure_executor()
+            if executor is not None:
+                yield from executor.map(pairs)
+            elif config.batch_size > 0:
+                yield from pipeline.map_stream(
+                    pairs, chunk_size=config.batch_size,
+                    workers=config.workers if config.workers > 1
+                    else None)
+            else:
+                # The scalar reference engine, with the same global
+                # synthetic-name numbering as the chunked paths.
+                for chunk in pipeline._chunk_stream(pairs, 1):
+                    for read1, read2, name in chunk:
+                        yield pipeline.map_pair(read1, read2, name)
+        finally:
+            if self._executor is not None:
+                self._executor.fold_stats()
+            self.last_stats = pipeline.stats
+            self._total.merge(pipeline.stats)
+            self._running = False
+
+    # -- output --------------------------------------------------------
+
+    def to_sam(self, results: Iterable[PairResult],
+               path: PathLike) -> int:
+        """Drain mapping results into a SAM file; returns the record
+        count.  Closes a generator stream even on error, so the worker
+        pool never leaks in-flight chunks."""
+        with SamWriter(path, reference=self.reference) as writer:
+            try:
+                writer.drain(results)
+            finally:
+                close = getattr(results, "close", None)
+                if close is not None:
+                    close()
+            return writer.count
+
+    def sam_lines(self, results: Iterable[PairResult],
+                  header: bool = True) -> Iterator[str]:
+        """Render results as SAM text lines (the daemon's wire form).
+
+        With ``header=True`` the same ``@HD``/``@SQ`` lines
+        :class:`~repro.genome.SamWriter` writes come first, so
+        concatenating the lines with newlines reproduces
+        :meth:`to_sam` output byte for byte.
+        """
+        if header:
+            yield from sam_header_lines(self.reference)
+        yield from sam_record_lines(results)
+
+    # -- statistics lifecycle ------------------------------------------
+
+    @property
+    def stats(self) -> PipelineStats:
+        """Counters accumulated over all completed runs since
+        construction or the last :meth:`reset_stats` (the in-progress
+        run, if any, is not included until it finishes)."""
+        return self._total
+
+    def reset_stats(self) -> None:
+        """Zero the cumulative counters (and :attr:`last_stats`)."""
+        self._total = PipelineStats()
+        self.last_stats = PipelineStats()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def uses_pool(self) -> bool:
+        """Will mapping runs go through a persistent worker pool?"""
+        return self._wants_pool()
+
+    def warm_up(self) -> "Mapper":
+        """Create the worker pool (if configured) before the first run.
+
+        Mapping calls do this lazily; the daemon calls it at startup
+        instead, so the fork happens while the process is still
+        single-threaded and the first request hits a warm pool.
+        """
+        self._assert_open()
+        self._ensure_executor()
+        return self
+
+    def _wants_pool(self) -> bool:
+        return (self.config.workers > 1 and self.config.batch_size > 0
+                and _fork_context() is not None)
+
+    def _ensure_executor(self) -> Optional[StreamExecutor]:
+        if self._executor is None and self._wants_pool():
+            self._executor = StreamExecutor(
+                self.pipeline, workers=self.config.workers,
+                chunk_size=self.config.batch_size,
+                inflight=self.config.inflight)
+        return self._executor
+
+    def _assert_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("Mapper is closed")
+
+    def close(self) -> None:
+        """Shut the worker pool down and mark the mapper closed.
+
+        Idempotent.  The memory-mapped index views stay valid for
+        already-returned results; no further mapping calls are
+        accepted.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            # close() folds any residual worker stats into the
+            # pipeline's current counters; nothing is lost, and the
+            # accumulator keeps them via the last completed run.
+            executor.close()
+
+    def __enter__(self) -> "Mapper":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,157 @@
+"""Named stage registries: declarative filter-chain and aligner choice.
+
+Instead of callers composing filter and aligner classes by hand, a
+:class:`~repro.api.MappingConfig` names its stages —
+``filter_chain="shd"``, ``aligner="light"`` — and
+:class:`~repro.api.Mapper` resolves the names here when it builds the
+pipeline.  Two registries exist:
+
+* :data:`FILTER_CHAINS` — pre-alignment candidate screens
+  (:class:`~repro.filters.stages.FilterChain` instances): ``none``
+  (default — the pipeline's historical behaviour), ``shd``,
+  ``gatekeeper``, ``exact``, ``adjacency`` (SHD with the intra-read
+  amendment disabled, the FastHASH-adjacent raw-mask variant), and
+  ``combined`` (exact fast-accept semantics are lossy, so the combined
+  chain strings GateKeeper *then* SHD: the cheap raw-mask reject first,
+  the amended tighter filter second);
+* :data:`ALIGNERS` — candidate aligners behind the light-align
+  contract: ``light`` (default), ``filtered-light`` (the §8
+  SHD-then-light combination of
+  :class:`~repro.filters.FilteredLightAligner`), and ``banded-dp``
+  (banded Gotoh DP at every candidate — the always-correct reference
+  stage).
+
+Every factory takes the resolved :class:`~repro.api.MappingConfig` and
+returns a fresh stage object, so per-run knobs (``max_edits``,
+``score_threshold``, ``fallback_bandwidth``) flow into the stage.
+Unknown names raise :class:`RegistryError` naming the available
+entries; third-party stages register with the ``register`` decorator::
+
+    @FILTER_CHAINS.register("my-screen")
+    def _build(config):
+        return FilterChain((MyScreen(),), name="my-screen")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..align.scoring import DEFAULT_SCHEME
+from ..align.stages import BandedDpAligner
+from ..filters.combined import FilteredLightAligner
+from ..filters.stages import (ExactScreen, FilterChain, GateKeeperScreen,
+                              ShdScreen)
+
+
+class RegistryError(LookupError):
+    """An unknown stage name was requested; names the available ones."""
+
+
+class StageRegistry:
+    """A named factory table for one kind of pipeline stage."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: Dict[str, Callable] = {}
+
+    def register(self, name: str, factory: Callable = None):
+        """Register ``factory`` under ``name`` (usable as a decorator)."""
+        if factory is None:
+            def decorator(fn: Callable) -> Callable:
+                self.register(name, fn)
+                return fn
+            return decorator
+        if not name or not isinstance(name, str):
+            raise ValueError(f"{self.kind} name must be a non-empty "
+                             f"string, got {name!r}")
+        if name in self._factories:
+            raise ValueError(f"{self.kind} {name!r} is already "
+                             "registered")
+        self._factories[name] = factory
+        return factory
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._factories))
+
+    def require(self, name: str) -> Callable:
+        """The factory for ``name``, or a :class:`RegistryError` that
+        names every available stage."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            available = ", ".join(self.names()) or "(none registered)"
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; available: "
+                f"{available}") from None
+
+    def create(self, name: str, config):
+        """Build a fresh stage instance for ``name`` from ``config``."""
+        return self.require(name)(config)
+
+
+#: Pre-alignment candidate screens, selected by ``filter_chain``.
+FILTER_CHAINS = StageRegistry("filter chain")
+
+#: Candidate aligners, selected by ``aligner``.
+ALIGNERS = StageRegistry("aligner")
+
+
+@FILTER_CHAINS.register("none")
+def _chain_none(config) -> FilterChain:
+    return FilterChain((), name="none")
+
+
+@FILTER_CHAINS.register("shd")
+def _chain_shd(config) -> FilterChain:
+    return FilterChain((ShdScreen(max_edits=config.max_edits),),
+                       name="shd")
+
+
+@FILTER_CHAINS.register("gatekeeper")
+def _chain_gatekeeper(config) -> FilterChain:
+    return FilterChain((GateKeeperScreen(max_edits=config.max_edits),),
+                       name="gatekeeper")
+
+
+@FILTER_CHAINS.register("adjacency")
+def _chain_adjacency(config) -> FilterChain:
+    # The FastHASH-flavoured raw-mask variant: SHD without the
+    # amendment step is exactly the adjacent-shift Hamming criterion.
+    return FilterChain((ShdScreen(max_edits=config.max_edits,
+                                  amend_min_run=1),),
+                       name="adjacency")
+
+
+@FILTER_CHAINS.register("exact")
+def _chain_exact(config) -> FilterChain:
+    return FilterChain((ExactScreen(),), name="exact")
+
+
+@FILTER_CHAINS.register("combined")
+def _chain_combined(config) -> FilterChain:
+    return FilterChain((GateKeeperScreen(max_edits=config.max_edits),
+                        ShdScreen(max_edits=config.max_edits)),
+                       name="combined")
+
+
+@ALIGNERS.register("light")
+def _aligner_light(config):
+    from ..core.light_align import LightAligner
+
+    return LightAligner(scheme=DEFAULT_SCHEME,
+                        max_edits=config.max_edits,
+                        threshold=config.score_threshold)
+
+
+@ALIGNERS.register("filtered-light")
+def _aligner_filtered_light(config) -> FilteredLightAligner:
+    return FilteredLightAligner(scheme=DEFAULT_SCHEME,
+                                max_edits=config.max_edits,
+                                threshold=config.score_threshold)
+
+
+@ALIGNERS.register("banded-dp")
+def _aligner_banded_dp(config) -> BandedDpAligner:
+    return BandedDpAligner(scheme=DEFAULT_SCHEME,
+                           threshold=config.score_threshold,
+                           bandwidth=config.fallback_bandwidth)

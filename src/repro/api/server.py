@@ -1,0 +1,365 @@
+"""The ``repro serve`` daemon: a warm Mapper behind a UNIX socket.
+
+``repro map`` pays index open, fallback construction, and worker-pool
+fork on every invocation.  The daemon pays them **once**: a
+:class:`MapServer` holds a live :class:`~repro.api.Mapper` (memory-
+mapped index + persistent worker pool) and answers mapping requests
+over a UNIX-domain stream socket for as long as it runs — the
+wrap-the-persistent-aligner architecture production mappers use.
+
+Wire protocol — newline-delimited JSON, one object per line, one
+response line per request line; a connection may carry any number of
+requests.  Operations:
+
+``ping``
+    Liveness probe.  Response carries ``pid``, ``uptime_s``, the index
+    path, and the config snapshot.
+``map``
+    Map pairs shipped inline: ``{"op": "map", "pairs": [[read1, read2,
+    name?], ...]}`` with reads as ACGT strings.  Responds with
+    ``{"sam": [...]}`` — SAM record lines (plus header lines first
+    when ``"header": true``) — and per-request ``stats``/``elapsed_s``.
+``map_file``
+    Map server-side FASTQ paths and write a SAM file server-side:
+    ``{"op": "map_file", "reads1": ..., "reads2": ..., "out": ...}``.
+    The heavy-duty path: no reads cross the socket, and the output is
+    byte-identical to an offline ``repro map`` with the same config
+    (asserted in the test suite and the CI smoke job).
+``stats``
+    Cumulative mapper counters plus server totals (requests served,
+    pairs mapped, per-op counts, errors).
+``shutdown``
+    Acknowledge, then stop the accept loop and tear the mapper down.
+
+Every response carries ``"ok"``; failures answer ``{"ok": false,
+"error": ...}`` and the connection stays usable.  SIGTERM/SIGINT (via
+:func:`serve`) shut down gracefully: in-flight requests finish, the
+socket file is unlinked, worker pools are closed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..genome.sequence import encode
+from .mapper import Mapper
+
+PathLike = Union[str, Path]
+
+#: Largest accepted request line (a guard against a runaway client;
+#: ~64 MiB comfortably holds a few hundred thousand inline pairs).
+MAX_REQUEST_BYTES = 64 * 1024 * 1024
+
+
+class ServerError(RuntimeError):
+    """The daemon could not start (e.g. the socket is already served)."""
+
+
+@dataclass
+class ServerStats:
+    """Aggregate request counters, reported by the ``stats`` op."""
+
+    started_monotonic: float = field(default_factory=time.monotonic)
+    requests: int = 0
+    errors: int = 0
+    pairs_mapped: int = 0
+    by_op: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, op: str, pairs: int = 0) -> None:
+        self.requests += 1
+        self.pairs_mapped += pairs
+        self.by_op[op] = self.by_op.get(op, 0) + 1
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"requests": self.requests, "errors": self.errors,
+                "pairs_mapped": self.pairs_mapped,
+                "uptime_s": round(self.uptime_s, 3),
+                "by_op": dict(self.by_op)}
+
+
+def _stats_dict(stats) -> Dict[str, int]:
+    """A PipelineStats as plain JSON types."""
+    import dataclasses
+
+    return {name: int(value)
+            for name, value in dataclasses.asdict(stats).items()}
+
+
+class MapServer:
+    """Serve mapping requests from one warm :class:`Mapper`.
+
+    The mapper is exercised under a lock — requests are mapped one at
+    a time (the pipeline itself fans out to the worker pool) — while
+    connections are handled in threads, so a slow or idle client never
+    blocks another client's requests, only overlapping *mapping* work
+    is serialized.
+    """
+
+    def __init__(self, mapper: Mapper, socket_path: PathLike,
+                 backlog: int = 16) -> None:
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover
+            raise ServerError("repro serve requires UNIX-domain "
+                              "sockets, which this platform lacks")
+        self.mapper = mapper
+        self.socket_path = str(socket_path)
+        self.stats = ServerStats()
+        self._map_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: list = []
+        self._claim_socket(backlog)
+        # Fork the worker pool now, while still single-threaded, so
+        # the first request finds it warm.
+        try:
+            mapper.warm_up()
+        except BaseException:
+            self._listener.close()
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+            raise
+
+    def _claim_socket(self, backlog: int) -> None:
+        """Bind the socket path, refusing to evict a live daemon.
+
+        A stale socket file (machine rebooted, daemon killed -9) is
+        unlinked; one that still answers connections is somebody
+        else's live server.
+        """
+        if os.path.exists(self.socket_path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.settimeout(0.5)
+            try:
+                probe.connect(self.socket_path)
+            except OSError:
+                try:
+                    os.unlink(self.socket_path)  # stale leftover
+                except OSError as exc:
+                    raise ServerError(
+                        f"cannot reclaim stale socket "
+                        f"{self.socket_path!r}: {exc}") from None
+            else:
+                probe.close()
+                raise ServerError(
+                    f"{self.socket_path!r} is already being served; "
+                    "stop that daemon first (repro client shutdown)")
+            finally:
+                probe.close()
+        self._listener = socket.socket(socket.AF_UNIX,
+                                       socket.SOCK_STREAM)
+        try:
+            self._listener.bind(self.socket_path)
+            self._listener.listen(backlog)
+            # Wake the accept loop periodically to notice shutdown.
+            self._listener.settimeout(0.2)
+        except OSError as exc:
+            self._listener.close()
+            raise ServerError(
+                f"cannot bind {self.socket_path!r}: {exc}") from None
+
+    # -- main loop -----------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`request_shutdown`."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break  # listener closed under us during shutdown
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,),
+                    name="repro-serve-conn", daemon=True)
+                thread.start()
+                self._threads.append(thread)
+                self._threads = [t for t in self._threads
+                                 if t.is_alive()]
+        finally:
+            self.close()
+
+    def request_shutdown(self) -> None:
+        """Ask the accept loop to stop (signal-handler safe)."""
+        self._stop.set()
+
+    def close(self) -> None:
+        """Stop accepting, finish in-flight requests, release resources."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        # Let an in-flight mapping request finish before teardown:
+        # mapping runs under _map_lock, so holding it here means the
+        # mapper (and its worker pool) is never closed under an active
+        # request — a request that slips in afterwards gets a clean
+        # "Mapper is closed" error response instead of a truncated run.
+        with self._map_lock:
+            self.mapper.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+
+    # -- connection handling -------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            reader = conn.makefile("rb")
+            try:
+                while not self._stop.is_set():
+                    line = reader.readline(MAX_REQUEST_BYTES)
+                    if not line:
+                        return
+                    if len(line) >= MAX_REQUEST_BYTES \
+                            and not line.endswith(b"\n"):
+                        # A partial read of an over-limit request:
+                        # the rest of the line is still in the pipe,
+                        # so answering and reading on would pair
+                        # later responses with the wrong requests.
+                        # Reject once and drop the connection.
+                        self.stats.errors += 1
+                        conn.sendall(json.dumps(
+                            {"ok": False,
+                             "error": "request exceeds "
+                                      f"{MAX_REQUEST_BYTES} bytes; "
+                                      "use map_file for large "
+                                      "inputs"}).encode() + b"\n")
+                        return
+                    response = self._dispatch_line(line)
+                    conn.sendall(json.dumps(response).encode()
+                                 + b"\n")
+                    if response.get("op") == "shutdown" \
+                            and response.get("ok"):
+                        self.request_shutdown()
+                        return
+            except (OSError, ValueError):
+                return  # client went away mid-exchange
+            finally:
+                reader.close()
+
+    def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            self.stats.errors += 1
+            return {"ok": False, "error": f"bad request: {exc}"}
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) \
+            if isinstance(op, str) and not op.startswith("_") else None
+        if handler is None:
+            self.stats.errors += 1
+            return {"ok": False, "op": op,
+                    "error": f"unknown op {op!r}; available: map, "
+                             "map_file, ping, shutdown, stats"}
+        start = time.perf_counter()
+        try:
+            response = handler(request)
+        except Exception as exc:  # keep serving after a bad request
+            self.stats.errors += 1
+            return {"ok": False, "op": op,
+                    "error": f"{type(exc).__name__}: {exc}"}
+        response.setdefault("ok", True)
+        response["op"] = op
+        response["elapsed_s"] = round(time.perf_counter() - start, 6)
+        return response
+
+    # -- operations ----------------------------------------------------
+
+    def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.stats.record("ping")
+        index = self.mapper.index
+        return {"pid": os.getpid(),
+                "uptime_s": round(self.stats.uptime_s, 3),
+                "index": index.path if index is not None else None,
+                "workers": self.mapper.config.workers,
+                "config": self.mapper.config.to_dict()}
+
+    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.stats.record("stats")
+        return {"server": self.stats.to_dict(),
+                "mapper": _stats_dict(self.mapper.stats)}
+
+    def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.stats.record("shutdown")
+        return {"goodbye": True}
+
+    def _op_map(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        pairs = request.get("pairs")
+        if not isinstance(pairs, list):
+            raise ValueError('"pairs" must be a list of '
+                             '[read1, read2, name?] entries')
+        decoded = []
+        for number, entry in enumerate(pairs):
+            if isinstance(entry, dict):
+                read1, read2 = entry["read1"], entry["read2"]
+                name = entry.get("name", f"pair{number}")
+            else:
+                if len(entry) not in (2, 3):
+                    raise ValueError(f"pair {number}: expected "
+                                     "[read1, read2, name?]")
+                read1, read2 = entry[0], entry[1]
+                name = entry[2] if len(entry) > 2 else f"pair{number}"
+            decoded.append((encode(read1, allow_n=True),
+                            encode(read2, allow_n=True), str(name)))
+        with self._map_lock:
+            results = self.mapper.map(decoded)
+            lines = list(self.mapper.sam_lines(
+                results, header=bool(request.get("header", False))))
+            stats = _stats_dict(self.mapper.last_stats)
+        self.stats.record("map", pairs=len(decoded))
+        return {"pairs": len(decoded), "sam": lines, "stats": stats}
+
+    def _op_map_file(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        for key in ("reads1", "reads2", "out"):
+            if not isinstance(request.get(key), str):
+                raise ValueError(f'"{key}" must be a path string')
+        with self._map_lock:
+            results = self.mapper.map_file(request["reads1"],
+                                           request["reads2"])
+            records = self.mapper.to_sam(results, request["out"])
+            stats = _stats_dict(self.mapper.last_stats)
+        self.stats.record("map_file", pairs=stats["pairs_total"])
+        return {"pairs": stats["pairs_total"], "records": records,
+                "out": request["out"], "stats": stats}
+
+
+def serve(mapper: Mapper, socket_path: PathLike,
+          install_signal_handlers: bool = True) -> MapServer:
+    """Run a :class:`MapServer` until shutdown (the CLI entry point).
+
+    Blocks in the accept loop; SIGTERM/SIGINT trigger the same
+    graceful path as a ``shutdown`` request.  Returns the (closed)
+    server so callers can read its final :attr:`MapServer.stats`.
+    """
+    server = MapServer(mapper, socket_path)
+    # Signal handlers can only be installed from the main thread; a
+    # server hosted in a background thread (tests, embedding) relies
+    # on shutdown requests instead.
+    if install_signal_handlers \
+            and threading.current_thread() is threading.main_thread():
+        import signal
+
+        def _graceful(signum, frame):
+            server.request_shutdown()
+
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+    server.serve_forever()
+    return server

@@ -1,4 +1,4 @@
-"""Command-line interface: the reproduction as a usable tool.
+"""Command-line interface: thin shims over the :mod:`repro.api` facade.
 
 Subcommands mirror a real read-mapping toolchain:
 
@@ -7,12 +7,18 @@ Subcommands mirror a real read-mapping toolchain:
 * ``index build``   — precompute the SeedMap + encoded reference into a
   persistent memory-mapped index file (the ``bowtie2-build`` split);
 * ``index inspect`` — print an index's fingerprint, tables, checksums;
-* ``map``           — map paired FASTQ files with the GenPair pipeline
-  (plus optional MM2 fallback) and write SAM; reads stream through in
-  O(batch) memory, the batched engine is on by default
+* ``map``           — map paired FASTQ files through the
+  :class:`repro.api.Mapper` facade and write SAM; reads stream through
+  in O(batch) memory, the batched engine is on by default
   (``--batch-size``), ``--workers N`` streams the chunks through a
-  persistent pool of forked worker processes, and ``--index`` serves
-  from a prebuilt index instead of rebuilding the SeedMap from FASTA;
+  persistent pool of forked worker processes, ``--index`` serves from
+  a prebuilt index, and ``--filter-chain``/``--aligner`` select
+  registry stages declaratively;
+* ``serve``         — run the long-lived mapping daemon: the index and
+  the worker pool stay warm, and mapping requests arrive as
+  newline-delimited JSON over a UNIX socket;
+* ``client``        — talk to a running daemon (``ping`` / ``map`` /
+  ``stats`` / ``shutdown``);
 * ``call``          — pile up a SAM file and call variants to VCF;
 * ``design``        — compose the GenPairX + GenDP hardware design and
   print the Table 3/4/5-style report.
@@ -24,6 +30,10 @@ Example::
         --out demo.rpix
     python -m repro.cli map --index demo.rpix \
         --reads1 demo_1.fq --reads2 demo_2.fq --out demo.sam
+    python -m repro.cli serve --index demo.rpix --workers 4 &
+    python -m repro.cli client map --socket demo.rpix.sock \
+        --reads1 demo_1.fq --reads2 demo_2.fq --out demo.sam
+    python -m repro.cli client shutdown --socket demo.rpix.sock
     python -m repro.cli call --reference demo_ref.fa --sam demo.sam \
         --out demo.vcf
     python -m repro.cli design --memory HBM2
@@ -37,6 +47,8 @@ import sys
 from typing import List, Optional
 
 import numpy as np
+
+from . import __version__
 
 
 def _available_cpus() -> int:
@@ -91,33 +103,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _lazy_full_fallback(reference):
-    """Full-DP fallback that defers the O(genome) minimizer-index build
-    until the first pair actually needs it, so a ``map --index`` run
-    whose pairs all stay on the GenPair path keeps mmap-cheap startup."""
-    from .mapper import Mm2LikeMapper, make_full_fallback
+def _build_mapper(args: argparse.Namespace):
+    """Construct the :class:`repro.api.Mapper` the ``map`` and
+    ``serve`` shims share, from their common flags.
 
-    state = {}
-
-    def fallback(read1, read2, name):
-        if "fn" not in state:
-            state["fn"] = make_full_fallback(Mm2LikeMapper(reference))
-        return state["fn"](read1, read2, name)
-
-    return fallback
-
-
-def _cmd_map(args: argparse.Namespace) -> int:
-    from .core import (DEFAULT_FILTER_THRESHOLD, GenPairConfig,
-                       GenPairPipeline)
-    from .genome import FastaError, SamWriter, iter_pairs, read_fasta
+    Returns ``(mapper, None)`` or ``(None, exit_code)`` with the error
+    already printed.
+    """
+    from .api import Mapper, MappingConfigError, RegistryError
     from .index import IndexFormatError
-    from .mapper import Mm2LikeMapper, make_full_fallback
 
     if (args.index is None) == (args.reference is None):
-        print("error: map needs exactly one of --reference or --index",
-              file=sys.stderr)
-        return 2
+        print(f"error: {args.command} needs exactly one of "
+              "--reference or --index", file=sys.stderr)
+        return None, 2
     if args.batch_size > 0 and args.workers > 1:
         cpus = _available_cpus()
         if args.workers > cpus:
@@ -125,86 +124,135 @@ def _cmd_map(args: argparse.Namespace) -> int:
                   f"available CPU(s); capping at {cpus}",
                   file=sys.stderr)
             args.workers = cpus
-    uses_pool = (args.batch_size > 0 and args.workers > 1
-                 and hasattr(os, "fork"))
-    if args.index is not None:
-        from .index import open_index
-
-        # The fingerprint gate: an explicit --filter-threshold that
-        # disagrees with what the index was built with is rejected.
-        expectations = {}
-        if args.filter_threshold is not None:
-            expectations["expect_filter_threshold"] = args.filter_threshold
-        try:
-            index = open_index(args.index, verify=not args.no_verify,
-                               **expectations)
-        except IndexFormatError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
-        reference = index.reference
-        seedmap = index.seedmap
-        config = GenPairConfig(seed_length=index.seed_length,
-                               delta=args.delta,
-                               filter_threshold=index.filter_threshold)
-    else:
-        reference = read_fasta(args.reference)
-        seedmap = None
-        threshold = (args.filter_threshold
-                     if args.filter_threshold is not None
-                     else DEFAULT_FILTER_THRESHOLD)
-        config = GenPairConfig(delta=args.delta,
-                               filter_threshold=threshold)
-    fallback = None
-    if not args.no_fallback:
-        if uses_pool:
-            # Forked workers inherit a pre-fork build copy-on-write;
-            # building lazily would make every worker rebuild it.
-            fallback = make_full_fallback(Mm2LikeMapper(reference))
-        else:
-            fallback = _lazy_full_fallback(reference)
-    pipeline = GenPairPipeline(reference, seedmap=seedmap, config=config,
-                               full_fallback=fallback)
-    # Reader chunking follows the batch size so `--batch-size 16`
-    # really does bound buffered pairs at 16, not the reader default.
-    pairs = iter_pairs(args.reads1, args.reads2,
-                       chunk_size=args.batch_size
-                       if args.batch_size > 0 else None)
-    if args.batch_size > 0:
-        results = pipeline.map_stream(pairs, chunk_size=args.batch_size,
-                                      workers=args.workers)
-    else:
-        if args.workers > 1:
-            print("note: --workers requires the batched engine; "
-                  "ignored with --batch-size 0", file=sys.stderr)
-        results = (pipeline.map_pair(read1, read2, name)
-                   for read1, read2, name in pairs)
+    elif args.workers > 1:
+        print("note: --workers requires the batched engine; "
+              "ignored with --batch-size 0", file=sys.stderr)
+        args.workers = 1
+    overrides = dict(delta=args.delta, batch_size=args.batch_size,
+                     workers=args.workers,
+                     full_fallback=not args.no_fallback,
+                     filter_chain=args.filter_chain,
+                     aligner=args.aligner)
+    # The fingerprint gate: an explicit --filter-threshold must match
+    # what an index was built with (from_fingerprint rejects a
+    # conflict); against FASTA it configures the in-process build.
+    if args.filter_threshold is not None:
+        overrides["filter_threshold"] = args.filter_threshold
     try:
-        with SamWriter(args.out, reference=reference) as writer:
-            try:
-                writer.drain(results)
-            finally:
-                # Closing the stream tears the worker pool down (and
-                # terminates it if chunks were abandoned mid-flight).
-                close = getattr(results, "close", None)
-                if close is not None:
-                    close()
-            count = writer.count
-    except FastaError as exc:
+        if args.index is not None:
+            mapper = Mapper.from_index(
+                args.index, verify_index=not args.no_verify,
+                **overrides)
+        else:
+            mapper = Mapper.from_reference(args.reference, **overrides)
+    except (IndexFormatError, MappingConfigError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
-    except KeyboardInterrupt:
-        teardown = "worker pool torn down, " if uses_pool else ""
-        print(f"\ninterrupted: {teardown}partial SAM left at "
-              f"{args.out}", file=sys.stderr)
-        return 130
-    stats = pipeline.stats
+        return None, 1
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None, 2
+    return mapper, None
+
+
+def _print_map_report(stats, count: int, out: str) -> None:
     print(f"mapped {stats.pairs_total} pairs -> {count} records "
-          f"({args.out})")
+          f"({out})")
     print(f"  light-aligned {stats.light_aligned_pct:.1f}% | "
           f"DP-at-candidates {stats.light_fallback_pct:.1f}% | "
           f"full fallback "
           f"{stats.seedmap_fallback_pct + stats.filter_fallback_pct:.1f}%"
           f" | unmapped {stats.unmapped}")
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .genome import FastaError
+
+    mapper, code = _build_mapper(args)
+    if mapper is None:
+        return code
+    with mapper:
+        try:
+            count = mapper.to_sam(mapper.map_file(args.reads1,
+                                                  args.reads2),
+                                  args.out)
+        except FastaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            teardown = ("worker pool torn down, " if mapper.uses_pool
+                        else "")
+            print(f"\ninterrupted: {teardown}partial SAM left at "
+                  f"{args.out}", file=sys.stderr)
+            return 130
+        _print_map_report(mapper.last_stats, count, args.out)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api import ServerError, serve
+
+    mapper, code = _build_mapper(args)
+    if mapper is None:
+        return code
+    socket_path = args.socket
+    if socket_path is None:
+        socket_path = (args.index if args.index is not None
+                       else args.reference) + ".sock"
+    source = args.index if args.index is not None else args.reference
+    print(f"serving {source} on {socket_path} "
+          f"(pid {os.getpid()}, workers={args.workers}, "
+          f"batch={args.batch_size}); stop with `repro client "
+          f"shutdown --socket {socket_path}` or SIGTERM",
+          flush=True)
+    try:
+        server = serve(mapper, socket_path)
+    except ServerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        mapper.close()
+        return 1
+    report = server.stats
+    print(f"daemon stopped after {report.uptime_s:.1f}s: "
+          f"{report.requests} requests, {report.pairs_mapped} pairs "
+          f"mapped, {report.errors} errors")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import Client, ClientError
+    from .core import PipelineStats
+
+    if args.action == "map":
+        for flag in ("reads1", "reads2"):
+            if getattr(args, flag) is None:
+                print(f"error: client map needs --{flag}",
+                      file=sys.stderr)
+                return 2
+    try:
+        with Client(args.socket, timeout=args.timeout) as client:
+            if args.action == "ping":
+                reply = client.ping()
+                print(f"daemon alive: pid {reply['pid']}, up "
+                      f"{reply['uptime_s']}s, index "
+                      f"{reply['index'] or '(in-memory reference)'}, "
+                      f"workers={reply['workers']}")
+            elif args.action == "stats":
+                print(json.dumps(client.stats(), indent=2,
+                                 sort_keys=True))
+            elif args.action == "shutdown":
+                client.shutdown()
+                print("daemon shut down")
+            else:  # map
+                reply = client.map_file(args.reads1, args.reads2,
+                                        args.out)
+                stats = PipelineStats(**reply["stats"])
+                _print_map_report(stats, reply["records"],
+                                  reply["out"])
+                print(f"  daemon-side elapsed {reply['elapsed_s']}s")
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -343,9 +391,57 @@ def _cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_mapper_args(parser: argparse.ArgumentParser) -> None:
+    """The flags ``map`` and ``serve`` share (they build one Mapper)."""
+    parser.add_argument("--reference",
+                        help="FASTA reference (SeedMap is rebuilt per "
+                             "run; use --index to skip that)")
+    parser.add_argument("--index",
+                        help="persistent index from `repro index "
+                             "build`; memory-mapped, so opening is "
+                             "cheap and forked workers share it")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="with --index: skip array checksum "
+                             "verification (the trusted-file reopen "
+                             "fast path; opening is then O(header))")
+    parser.add_argument("--delta", type=int, default=500)
+    parser.add_argument("--filter-threshold", type=int, default=None,
+                        help="index filtering threshold (default 500); "
+                             "with --index it must match the index "
+                             "fingerprint")
+    parser.add_argument("--no-fallback", action="store_true",
+                        help="disable the MM2 full-DP fallback")
+    parser.add_argument("--filter-chain", default="none",
+                        help="named pre-alignment candidate screen "
+                             "chain (none, shd, gatekeeper, adjacency, "
+                             "exact, combined)")
+    parser.add_argument("--aligner", default="light",
+                        help="named candidate aligner (light, "
+                             "filtered-light, banded-dp)")
+    parser.add_argument("--batch-size",
+                        type=_int_arg("--batch-size", 0,
+                                      " (0 disables the batched "
+                                      "engine)"),
+                        default=256,
+                        help="pairs per vectorized batch: seeds are "
+                             "hashed and resolved against the SeedMap "
+                             "in one call per batch (0 disables the "
+                             "batched engine and maps pair by pair; "
+                             "results are identical either way)")
+    parser.add_argument("--workers", type=_int_arg("--workers", 1),
+                        default=1,
+                        help="stream batches through a persistent "
+                             "pool of N forked worker processes "
+                             "(1 = in-process; capped at the CPU "
+                             "count; worker stats are merged into "
+                             "the final report)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="GenPairX reproduction toolchain")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate",
@@ -389,45 +485,37 @@ def build_parser() -> argparse.ArgumentParser:
     index_inspect.set_defaults(func=_cmd_index_inspect)
 
     map_cmd = sub.add_parser("map", help="map paired FASTQ to SAM")
-    map_cmd.add_argument("--reference",
-                         help="FASTA reference (SeedMap is rebuilt per "
-                              "run; use --index to skip that)")
-    map_cmd.add_argument("--index",
-                         help="persistent index from `repro index "
-                              "build`; memory-mapped, so opening is "
-                              "cheap and forked workers share it")
-    map_cmd.add_argument("--no-verify", action="store_true",
-                         help="with --index: skip array checksum "
-                              "verification (the trusted-file reopen "
-                              "fast path; opening is then O(header))")
+    _add_mapper_args(map_cmd)
     map_cmd.add_argument("--reads1", required=True)
     map_cmd.add_argument("--reads2", required=True)
     map_cmd.add_argument("--out", default="out.sam")
-    map_cmd.add_argument("--delta", type=int, default=500)
-    map_cmd.add_argument("--filter-threshold", type=int, default=None,
-                         help="index filtering threshold (default 500); "
-                              "with --index it must match the index "
-                              "fingerprint")
-    map_cmd.add_argument("--no-fallback", action="store_true",
-                         help="disable the MM2 full-DP fallback")
-    map_cmd.add_argument("--batch-size",
-                         type=_int_arg("--batch-size", 0,
-                                       " (0 disables the batched "
-                                       "engine)"),
-                         default=256,
-                         help="pairs per vectorized batch: seeds are "
-                              "hashed and resolved against the SeedMap "
-                              "in one call per batch (0 disables the "
-                              "batched engine and maps pair by pair; "
-                              "results are identical either way)")
-    map_cmd.add_argument("--workers", type=_int_arg("--workers", 1),
-                         default=1,
-                         help="stream batches through a persistent "
-                              "pool of N forked worker processes "
-                              "(1 = in-process; capped at the CPU "
-                              "count; worker stats are merged into "
-                              "the final report)")
     map_cmd.set_defaults(func=_cmd_map)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the persistent mapping daemon: warm index "
+                      "+ worker pool behind a UNIX socket")
+    _add_mapper_args(serve_cmd)
+    serve_cmd.add_argument("--socket", default=None,
+                           help="UNIX socket path (default: "
+                                "<index|reference>.sock)")
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    client_cmd = sub.add_parser(
+        "client", help="talk to a running `repro serve` daemon")
+    client_cmd.add_argument("action",
+                            choices=("ping", "map", "stats",
+                                     "shutdown"))
+    client_cmd.add_argument("--socket", required=True,
+                            help="the daemon's UNIX socket path")
+    client_cmd.add_argument("--timeout", type=float, default=None,
+                            help="socket timeout in seconds (default: "
+                                 "wait as long as the mapping takes)")
+    client_cmd.add_argument("--reads1", help="client map: R1 FASTQ")
+    client_cmd.add_argument("--reads2", help="client map: R2 FASTQ")
+    client_cmd.add_argument("--out", default="out.sam",
+                            help="client map: output SAM path "
+                                 "(written by the daemon process)")
+    client_cmd.set_defaults(func=_cmd_client)
 
     call = sub.add_parser("call", help="call variants from a SAM file")
     call.add_argument("--reference", required=True)
@@ -448,7 +536,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        # Missing inputs are usage problems, not crashes: no traceback.
+        name = exc.filename if exc.filename is not None else exc
+        print(f"error: no such file: {name}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

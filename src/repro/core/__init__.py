@@ -31,6 +31,7 @@ back with :meth:`PipelineStats.merge` at pool shutdown.  All engines
 produce bit-identical :class:`PairResult` streams.
 """
 
+from .fingerprint import IndexFingerprint
 from .insert_estimator import (InsertSizeEstimate, InsertSizeEstimator,
                                calibrate_delta)
 from .light_align import (EditProfile, LightAligner, LightAlignment,
@@ -51,7 +52,8 @@ from .seeding import (PairSeeds, Seed, pair_role_codes, partition_pair,
 __all__ = [
     "DEFAULT_BATCH_SIZE", "DEFAULT_DELTA", "DEFAULT_FILTER_THRESHOLD",
     "DEFAULT_INFLIGHT_PER_WORKER", "StreamExecutor",
-    "EditProfile", "InsertSizeEstimate", "InsertSizeEstimator",
+    "EditProfile", "IndexFingerprint", "InsertSizeEstimate",
+    "InsertSizeEstimator",
     "calibrate_delta", "FilterResult", "GenPairConfig", "GenPairPipeline",
     "LightAligner", "LightAlignment", "LOCATION_ENTRY_BYTES",
     "LongReadConfig", "LongReadMapper", "LongReadStats", "PairResult",

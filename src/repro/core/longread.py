@@ -58,8 +58,9 @@ class LongReadMapper:
 
     def __init__(self, reference: ReferenceGenome,
                  seedmap: Optional[SeedMap] = None,
-                 config: LongReadConfig = LongReadConfig(),
+                 config: Optional[LongReadConfig] = None,
                  scheme: ScoringScheme = DEFAULT_SCHEME) -> None:
+        config = config if config is not None else LongReadConfig()
         self.reference = reference
         self.config = config
         self.scheme = scheme

@@ -133,6 +133,7 @@ class PipelineStats:
     traffic_bytes: int = 0
     filter_iterations: int = 0
     light_attempts: int = 0
+    screen_rejections: int = 0
     dp_cells_candidate: int = 0
     dp_cells_full: int = 0
 
@@ -200,18 +201,33 @@ class GenPairPipeline:
 
     def __init__(self, reference: ReferenceGenome,
                  seedmap: Optional[SeedMap] = None,
-                 config: GenPairConfig = GenPairConfig(),
+                 config: Optional[GenPairConfig] = None,
                  scheme: ScoringScheme = DEFAULT_SCHEME,
-                 full_fallback: Optional[FullFallback] = None) -> None:
+                 full_fallback: Optional[FullFallback] = None,
+                 aligner=None,
+                 candidate_screen: Optional[Callable] = None) -> None:
+        # Constructed per-instance (config is frozen, but a shared
+        # mutable default is a bug class worth keeping out wholesale).
+        config = config if config is not None else GenPairConfig()
         self.reference = reference
         self.config = config
         self.scheme = scheme
         self.seedmap = seedmap if seedmap is not None else SeedMap.build(
             reference, seed_length=config.seed_length,
             filter_threshold=config.filter_threshold)
-        self.light_aligner = LightAligner(scheme=scheme,
-                                          max_edits=config.max_edits,
-                                          threshold=config.score_threshold)
+        #: The candidate aligner.  Defaults to the paper's Light
+        #: Alignment; any object honouring the same contract —
+        #: ``align(codes, window, offset) -> None | hit`` with
+        #: ``score``/``cigar``/window-relative ``ref_start`` — plugs in
+        #: (see :data:`repro.api.registry.ALIGNERS`).
+        self.light_aligner = aligner if aligner is not None else \
+            LightAligner(scheme=scheme, max_edits=config.max_edits,
+                         threshold=config.score_threshold)
+        #: Optional pre-alignment screen ``(codes, window, offset) ->
+        #: bool`` applied to every candidate before the aligner (see
+        #: :data:`repro.api.registry.FILTER_CHAINS`); rejected
+        #: candidates count in ``stats.screen_rejections``.
+        self.candidate_screen = candidate_screen
         self.full_fallback = full_fallback
         self.stats = PipelineStats()
         self._chromosome_starts = reference.linear_starts()
@@ -592,7 +608,20 @@ class GenPairPipeline:
         if ctx is None:
             return None
         window, offset, chromosome, pos = ctx
-        hit = self.light_aligner.align(codes, window, offset)
+        screen = self.candidate_screen
+        if screen is not None and not screen(codes, window, offset):
+            self.stats.screen_rejections += 1
+            return None
+        aligner = self.light_aligner
+        # A DP-backed stage aligner (e.g. the registry's "banded-dp")
+        # accumulates a `cells` counter; charge its per-call delta to
+        # the candidate-stage DP accounting so the hardware-model
+        # sizing stays honest whichever aligner is plugged in.
+        cells_before = getattr(aligner, "cells", 0)
+        hit = aligner.align(codes, window, offset)
+        cells_delta = getattr(aligner, "cells", 0) - cells_before
+        if cells_delta:
+            self.stats.dp_cells_candidate += cells_delta
         if hit is None:
             return None
         window_start = pos - offset
@@ -940,6 +969,22 @@ class StreamExecutor:
             self._abandoned += submitted - next_seq - len(buffered)
             self._mapping = False
             chunks.close()
+
+    def fold_stats(self) -> None:
+        """Fold worker statistics accumulated so far into the pipeline.
+
+        Stats normally fold once, at :meth:`close`; a long-lived
+        executor reused across runs (the :class:`repro.api.Mapper`
+        facade keeps one pool warm for its whole lifetime) calls this
+        after each completed run so per-run statistics are observable
+        while the pool stays up.  Safe to call between runs only —
+        never while a :meth:`map` stream is active.
+        """
+        if self._mapping:
+            raise RuntimeError("cannot fold stats while a map() stream "
+                               "is active")
+        self.pipeline.stats.merge(self._stats)
+        self._stats = PipelineStats()
 
     def close(self) -> None:
         """Shut the pool down and fold worker stats into the pipeline.

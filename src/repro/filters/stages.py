@@ -1,0 +1,117 @@
+"""Candidate-screen stages: the filters package as pluggable chain links.
+
+Each screen wraps one of this package's pre-alignment filters behind the
+uniform stage contract the pipeline's candidate loop understands::
+
+    screen(read_codes, window, offset) -> bool
+
+``True`` means the candidate *may* align and is worth handing to the
+aligner; ``False`` rejects it before any score/CIGAR work.  A
+:class:`FilterChain` strings screens together (a candidate must survive
+every link) and is what the :mod:`repro.api.registry` hands to
+:class:`~repro.core.pipeline.GenPairPipeline` when a
+:class:`~repro.api.MappingConfig` names a chain declaratively — callers
+select ``filter_chain="shd"`` instead of composing filter classes.
+
+The screens here preserve each filter's guarantees: SHD and GateKeeper
+have no false negatives within their shift range, so chaining them in
+front of Light Alignment cannot change mapping output — only skip
+doomed alignment attempts.  The ``exact`` screen *is* lossy by design
+(it admits only edit-free candidates; everything else takes the DP
+fallback arcs), reproducing the §3.2 exact-match baseline as a stage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from .gatekeeper import gatekeeper_filter
+from .shd import shd_filter
+
+#: The stage contract: candidate survives (``True``) or is rejected.
+CandidateScreen = Callable[[np.ndarray, np.ndarray, int], bool]
+
+
+class ShdScreen:
+    """Shifted Hamming Distance screen (amended masks, §8 baseline)."""
+
+    name = "shd"
+
+    def __init__(self, max_edits: int = 5, amend_min_run: int = 3) -> None:
+        self.max_edits = max_edits
+        self.amend_min_run = amend_min_run
+
+    def __call__(self, read: np.ndarray, window: np.ndarray,
+                 offset: int) -> bool:
+        return shd_filter(read, window, offset, max_edits=self.max_edits,
+                          amend_min_run=self.amend_min_run).passed
+
+
+class GateKeeperScreen:
+    """GateKeeper screen: raw (un-amended) shifted Hamming masks."""
+
+    name = "gatekeeper"
+
+    def __init__(self, max_edits: int = 5) -> None:
+        self.max_edits = max_edits
+
+    def __call__(self, read: np.ndarray, window: np.ndarray,
+                 offset: int) -> bool:
+        return gatekeeper_filter(read, window, offset,
+                                 max_edits=self.max_edits).passed
+
+
+class ExactScreen:
+    """Whole-read exact-match screen (the §3.2 baseline as a stage).
+
+    Admits a candidate only when the read matches the window verbatim
+    within ``slack`` bases of the implied position — the policy of the
+    exact-match accelerators whose paired-end weakness motivates
+    GenPair.  Lossy on purpose: edited pairs fall through to the DP
+    fallback arcs instead of light alignment.
+    """
+
+    name = "exact"
+
+    def __init__(self, slack: int = 0) -> None:
+        self.slack = slack
+
+    def __call__(self, read: np.ndarray, window: np.ndarray,
+                 offset: int) -> bool:
+        length = len(read)
+        for shift in range(-self.slack, self.slack + 1):
+            start = offset + shift
+            if start < 0 or start + length > len(window):
+                continue
+            if np.array_equal(window[start:start + length], read):
+                return True
+        return False
+
+
+class FilterChain:
+    """An ordered conjunction of candidate screens.
+
+    A candidate survives the chain only if every link passes it; an
+    empty chain passes everything (the pipeline's historical
+    behaviour, registered as ``"none"``).
+    """
+
+    def __init__(self, screens: Sequence[CandidateScreen] = (),
+                 name: str = "none") -> None:
+        self.screens: Tuple[CandidateScreen, ...] = tuple(screens)
+        self.name = name
+
+    def __call__(self, read: np.ndarray, window: np.ndarray,
+                 offset: int) -> bool:
+        for screen in self.screens:
+            if not screen(read, window, offset):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.screens)
+
+    def __repr__(self) -> str:
+        return f"FilterChain({self.name!r}, {len(self.screens)} screens)"

@@ -13,7 +13,8 @@ from .io_fasta import (DEFAULT_PAIR_CHUNK, FastaError, iter_pairs,
 from .reference import (ReferenceError, ReferenceGenome, RepeatProfile,
                         generate_reference)
 from .sam import (METHOD_DP, METHOD_EXACT, METHOD_LIGHT, AlignmentRecord,
-                  SamWriter, write_sam)
+                  SamWriter, sam_header_lines, sam_record_lines,
+                  write_sam)
 from .sequence import (ALPHABET_SIZE, SequenceError, decode, encode,
                        hamming_distance, kmer_to_int, kmers, pack_2bit,
                        random_sequence, reverse_complement,
@@ -33,6 +34,6 @@ __all__ = [
     "iter_pairs", "iter_pairs_chunked", "kmer_to_int", "kmers",
     "pack_2bit", "plant_variants", "random_sequence", "read_ahead",
     "read_fasta", "read_fastq", "read_pairs", "reverse_complement",
-    "reverse_complement_str", "unpack_2bit", "write_fasta",
-    "write_fastq", "write_sam",
+    "reverse_complement_str", "sam_header_lines", "sam_record_lines",
+    "unpack_2bit", "write_fasta", "write_fastq", "write_sam",
 ]

@@ -143,11 +143,8 @@ class SamWriter:
         self.count = 0
         self._handle = open(path, "w")
         try:
-            self._handle.write("@HD\tVN:1.6\tSO:unknown\n")
-            if reference is not None:
-                for name in reference.names:
-                    self._handle.write(
-                        f"@SQ\tSN:{name}\tLN:{reference.length(name)}\n")
+            for line in sam_header_lines(reference):
+                self._handle.write(line + "\n")
         except Exception:
             self._handle.close()
             raise
@@ -205,3 +202,29 @@ def write_sam(path: PathLike, records: Iterable[AlignmentRecord],
     with SamWriter(path, reference=reference) as writer:
         writer.write_all(records)
         return writer.count
+
+
+def sam_header_lines(
+        reference: Optional[ReferenceGenome] = None) -> list:
+    """The header lines :class:`SamWriter` writes, without the newlines.
+
+    One definition of the header keeps every output path — the
+    incremental writer, the serving daemon's JSON responses, and a
+    client reassembling a file from them — byte-identical.
+    """
+    lines = ["@HD\tVN:1.6\tSO:unknown"]
+    if reference is not None:
+        for name in reference.names:
+            lines.append(f"@SQ\tSN:{name}\tLN:{reference.length(name)}")
+    return lines
+
+
+def sam_record_lines(results: Iterable) -> Iterable[str]:
+    """Render a stream of pipeline ``PairResult``s as SAM record lines.
+
+    Lazy: pulls one result at a time, emitting both mates' lines —
+    exactly the body :meth:`SamWriter.drain` would write.
+    """
+    for result in results:
+        yield result.record1.to_sam_line()
+        yield result.record2.to_sam_line()

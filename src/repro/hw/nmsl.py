@@ -120,8 +120,8 @@ class NMSLReport:
 class NMSLSimulator:
     """Event-driven model of the NMSL datapath."""
 
-    def __init__(self, config: NMSLConfig = NMSLConfig()) -> None:
-        self.config = config
+    def __init__(self, config: Optional[NMSLConfig] = None) -> None:
+        self.config = config if config is not None else NMSLConfig()
 
     def simulate(self, location_counts: np.ndarray) -> NMSLReport:
         """Run the model over per-seed location counts.

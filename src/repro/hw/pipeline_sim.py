@@ -146,9 +146,10 @@ def sample_workload(rng: np.random.Generator, pairs: int,
 class GenPairXPipelineSim:
     """Finite-buffer tandem-queue simulation of the whole datapath."""
 
-    def __init__(self, config: PipelineSimConfig = PipelineSimConfig()
-                 ) -> None:
-        self.config = config
+    def __init__(self,
+                 config: Optional[PipelineSimConfig] = None) -> None:
+        self.config = config if config is not None \
+            else PipelineSimConfig()
 
     def simulate(self, workload: PairWorkload) -> PipelineSimReport:
         config = self.config

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..core.fingerprint import UNSET, IndexFingerprint
 from ..core.seedmap import SeedMap, SeedMapStats
 from ..genome.reference import ReferenceGenome
 from .format import (ARRAY_DTYPES, FORMAT_VERSION, IndexFormatError,
@@ -25,9 +26,9 @@ from .format import (ARRAY_DTYPES, FORMAT_VERSION, IndexFormatError,
 
 PathLike = Union[str, Path]
 
-#: Sentinel distinguishing "no expectation" from the meaningful
-#: ``filter_threshold=None`` (the unfiltered configuration).
-_UNSET = object()
+#: Back-compat alias; the canonical sentinel lives with the canonical
+#: fingerprint in :mod:`repro.core.fingerprint`.
+_UNSET = UNSET
 
 
 def save_index(path: PathLike, seedmap: SeedMap,
@@ -116,6 +117,11 @@ class MappingIndex:
         return self.meta["step"]
 
     @property
+    def fingerprint(self) -> IndexFingerprint:
+        """The canonical config fingerprint this index was built with."""
+        return IndexFingerprint.from_meta(self.meta)
+
+    @property
     def stats(self) -> SeedMapStats:
         return self.seedmap.stats
 
@@ -127,7 +133,8 @@ class MappingIndex:
 
 def open_index(path: PathLike, mmap: bool = True, verify: bool = True,
                expect_seed_length: Optional[int] = None,
-               expect_filter_threshold=_UNSET) -> MappingIndex:
+               expect_filter_threshold=_UNSET,
+               expect_step: Optional[int] = None) -> MappingIndex:
     """Open a persistent index written by :func:`save_index`.
 
     Parameters
@@ -139,8 +146,10 @@ def open_index(path: PathLike, mmap: bool = True, verify: bool = True,
         Check every array's crc32 against the manifest (the header crc
         is always checked).  Verification reads the file once; pass
         ``False`` for latency-critical reopen paths that trust the file.
-    expect_seed_length / expect_filter_threshold:
-        Config-fingerprint expectations; a mismatch raises
+    expect_seed_length / expect_filter_threshold / expect_step:
+        Config-fingerprint expectations, checked through the canonical
+        :class:`~repro.core.fingerprint.IndexFingerprint`; a mismatch
+        raises
         :class:`IndexFormatError` so a stale index is rejected instead
         of silently serving a differently-configured pipeline.
         ``expect_filter_threshold=None`` means "expect unfiltered";
@@ -154,19 +163,14 @@ def open_index(path: PathLike, mmap: bool = True, verify: bool = True,
             from None
     with handle:
         meta, data_start = read_header(handle)
-    if expect_seed_length is not None \
-            and expect_seed_length != meta["seed_length"]:
-        raise IndexFormatError(
-            f"index fingerprint mismatch: {path!r} was built with seed "
-            f"length {meta['seed_length']}, expected "
-            f"{expect_seed_length}; rebuild with `repro index build`")
-    if expect_filter_threshold is not _UNSET \
-            and expect_filter_threshold != meta["filter_threshold"]:
+    fingerprint = IndexFingerprint.from_meta(meta)
+    problems = fingerprint.conflicts(
+        seed_length=expect_seed_length,
+        filter_threshold=expect_filter_threshold, step=expect_step)
+    if problems:
         raise IndexFormatError(
             f"index fingerprint mismatch: {path!r} was built with "
-            f"filter threshold {meta['filter_threshold']}, expected "
-            f"{expect_filter_threshold}; rebuild with "
-            "`repro index build`")
+            f"{'; '.join(problems)}; rebuild with `repro index build`")
     arrays = _map_arrays(path, meta, data_start, mmap=mmap, verify=verify)
     ref_meta = meta["reference"]
     reference = ReferenceGenome.from_linear_codes(

@@ -81,9 +81,10 @@ class Mm2LikeMapper:
 
     def __init__(self, reference: ReferenceGenome,
                  index: Optional[MinimizerIndex] = None,
-                 config: MapperConfig = MapperConfig(),
+                 config: Optional[MapperConfig] = None,
                  scheme: ScoringScheme = DEFAULT_SCHEME,
                  timer: Optional[StageTimer] = None) -> None:
+        config = config if config is not None else MapperConfig()
         self.reference = reference
         self.config = config
         self.scheme = scheme

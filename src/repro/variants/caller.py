@@ -11,7 +11,7 @@ heterozygous below ``hom_fraction`` and homozygous above.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..genome.sequence import decode
 from ..genome.variants import Variant
@@ -29,8 +29,9 @@ class CallerConfig:
 
 
 def call_variants(pileup: Pileup,
-                  config: CallerConfig = CallerConfig()) -> List[Variant]:
+                  config: Optional[CallerConfig] = None) -> List[Variant]:
     """Call SNPs and INDELs from a pileup; sorted by (chrom, position)."""
+    config = config if config is not None else CallerConfig()
     calls: List[Variant] = []
     reference = pileup.reference
     for chromosome in pileup.chromosomes:

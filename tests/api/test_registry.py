@@ -1,0 +1,103 @@
+"""Stage registries: declarative lookup, rich errors, extension."""
+
+import numpy as np
+import pytest
+
+from repro.align.stages import BandedDpAligner
+from repro.api import (ALIGNERS, FILTER_CHAINS, MappingConfig,
+                       RegistryError, StageRegistry)
+from repro.core import LightAligner
+from repro.filters import FilteredLightAligner
+from repro.filters.stages import (ExactScreen, FilterChain,
+                                  GateKeeperScreen, ShdScreen)
+
+
+class TestLookup:
+    def test_builtin_names_registered(self):
+        assert set(FILTER_CHAINS.names()) >= {
+            "none", "shd", "gatekeeper", "adjacency", "exact",
+            "combined"}
+        assert set(ALIGNERS.names()) >= {"light", "filtered-light",
+                                         "banded-dp"}
+
+    @pytest.mark.parametrize("registry", [FILTER_CHAINS, ALIGNERS])
+    def test_unknown_name_error_lists_available_stages(self, registry):
+        with pytest.raises(RegistryError) as excinfo:
+            registry.require("does-not-exist")
+        message = str(excinfo.value)
+        assert "does-not-exist" in message
+        for name in registry.names():
+            assert name in message
+
+    def test_create_builds_fresh_configured_instances(self):
+        config = MappingConfig(max_edits=2)
+        chain1 = FILTER_CHAINS.create("shd", config)
+        chain2 = FILTER_CHAINS.create("shd", config)
+        assert chain1 is not chain2
+        assert chain1.screens[0].max_edits == 2
+
+    def test_aligner_factories_honour_config(self):
+        config = MappingConfig(max_edits=2, score_threshold=100,
+                               fallback_bandwidth=8)
+        light = ALIGNERS.create("light", config)
+        assert isinstance(light, LightAligner)
+        assert light.max_edits == 2
+        combined = ALIGNERS.create("filtered-light", config)
+        assert isinstance(combined, FilteredLightAligner)
+        dp = ALIGNERS.create("banded-dp", config)
+        assert isinstance(dp, BandedDpAligner)
+        assert dp.threshold == 100 and dp.bandwidth == 8
+
+
+class TestExtension:
+    def test_register_decorator_and_duplicate_rejection(self):
+        registry = StageRegistry("demo stage")
+
+        @registry.register("custom")
+        def build(config):
+            return ("custom", config.max_edits)
+
+        assert registry.create("custom", MappingConfig(max_edits=1)) \
+            == ("custom", 1)
+        with pytest.raises(ValueError):
+            registry.register("custom", build)
+        with pytest.raises(ValueError):
+            registry.register("", build)
+
+
+class TestChainSemantics:
+    def _world(self):
+        window = np.array([0, 1, 2, 3, 0, 1, 2, 3, 0, 1],
+                          dtype=np.uint8)
+        read = window[2:8].copy()
+        return read, window
+
+    def test_empty_chain_passes_everything(self):
+        read, window = self._world()
+        assert FilterChain(())(read, window, 2)
+        assert len(FilterChain(())) == 0
+
+    def test_exact_screen_accepts_only_verbatim_matches(self):
+        read, window = self._world()
+        screen = ExactScreen()
+        assert screen(read, window, 2)
+        mutated = read.copy()
+        mutated[0] = (mutated[0] + 1) % 4
+        assert not screen(mutated, window, 2)
+
+    def test_shd_and_gatekeeper_admit_near_matches(self):
+        read, window = self._world()
+        mutated = read.copy()
+        mutated[3] = (mutated[3] + 1) % 4
+        for screen in (ShdScreen(max_edits=2),
+                       GateKeeperScreen(max_edits=2)):
+            assert screen(read, window, 2)
+            assert screen(mutated, window, 2)
+
+    def test_chain_is_a_conjunction(self):
+        read, window = self._world()
+        mutated = read.copy()
+        mutated[0] = (mutated[0] + 1) % 4
+        chain = FilterChain((ShdScreen(max_edits=3), ExactScreen()))
+        assert chain(read, window, 2)
+        assert not chain(mutated, window, 2)  # exact link rejects

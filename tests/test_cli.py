@@ -1,6 +1,8 @@
 """Tests for the command-line interface."""
 
 import os
+import socket
+import threading
 
 import pytest
 
@@ -21,9 +23,58 @@ class TestParser:
                       "--reads2", "b"],
                      ["index", "build", "--reference", "r"],
                      ["index", "inspect", "--index", "r.rpix"],
+                     ["serve", "--index", "r.rpix"],
+                     ["client", "ping", "--socket", "s.sock"],
+                     ["client", "map", "--socket", "s.sock",
+                      "--reads1", "a", "--reads2", "b"],
                      ["call", "--reference", "r", "--sam", "s"]):
             args = parser.parse_args(argv)
             assert callable(args.func)
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "--bogus"],
+        ["map", "--reference", "r", "--reads1", "a", "--reads2", "b",
+         "--bogus"],
+        ["index", "build", "--reference", "r", "--bogus"],
+        ["index", "inspect", "--index", "i", "--bogus"],
+        ["serve", "--index", "i", "--bogus"],
+        ["client", "ping", "--socket", "s", "--bogus"],
+        ["call", "--reference", "r", "--sam", "s", "--bogus"],
+        ["design", "--bogus"],
+    ])
+    def test_unknown_args_exit_2_with_usage(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "usage" in capsys.readouterr().err.lower()
+
+    def test_missing_input_file_is_an_error_not_a_traceback(
+            self, tmp_path, capsys):
+        assert main(["map", "--reference", str(tmp_path / "no.fa"),
+                     "--reads1", "a.fq", "--reads2", "b.fq",
+                     "--out", str(tmp_path / "x.sam")]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_stage_names_exit_2_naming_available(
+            self, tmp_path, capsys):
+        prefix = str(tmp_path / "d")
+        assert main(["simulate", "--out", prefix, "--pairs", "1",
+                     "--chromosomes", "2000", "--seed", "8"]) == 0
+        assert main(["map", "--reference", prefix + "_ref.fa",
+                     "--reads1", prefix + "_1.fq",
+                     "--reads2", prefix + "_2.fq",
+                     "--filter-chain", "warp-drive",
+                     "--out", str(tmp_path / "x.sam")]) == 2
+        err = capsys.readouterr().err
+        assert "warp-drive" in err and "shd" in err
 
     @pytest.mark.parametrize("flag,value", [("--workers", "0"),
                                             ("--workers", "-2"),
@@ -185,3 +236,64 @@ class TestWorkflow:
         assert "Light Alignment" in out
         assert "GenPairX + GenDP" in out
         assert "host interface" in out
+
+
+@pytest.mark.skipif(not hasattr(socket, "AF_UNIX"),
+                    reason="serve/client need UNIX-domain sockets")
+class TestServeWorkflow:
+    def test_serve_client_map_matches_offline(self, tmp_path, capsys):
+        prefix = str(tmp_path / "d")
+        assert main(["simulate", "--out", prefix, "--pairs", "30",
+                     "--chromosomes", "20000", "--seed", "12"]) == 0
+        index_path = str(tmp_path / "d.rpix")
+        assert main(["index", "build",
+                     "--reference", prefix + "_ref.fa",
+                     "--out", index_path]) == 0
+        offline_sam = str(tmp_path / "offline.sam")
+        assert main(["map", "--index", index_path,
+                     "--reads1", prefix + "_1.fq",
+                     "--reads2", prefix + "_2.fq",
+                     "--out", offline_sam, "--no-fallback"]) == 0
+
+        socket_path = str(tmp_path / "d.sock")
+        exit_codes = []
+        daemon = threading.Thread(
+            target=lambda: exit_codes.append(
+                main(["serve", "--index", index_path, "--socket",
+                      socket_path, "--no-fallback"])),
+            daemon=True)
+        daemon.start()
+        for _ in range(100):
+            if os.path.exists(socket_path):
+                break
+            daemon.join(timeout=0.1)
+        assert os.path.exists(socket_path), "daemon never bound"
+
+        assert main(["client", "ping", "--socket", socket_path]) == 0
+        served_sam = str(tmp_path / "served.sam")
+        assert main(["client", "map", "--socket", socket_path,
+                     "--reads1", prefix + "_1.fq",
+                     "--reads2", prefix + "_2.fq",
+                     "--out", served_sam]) == 0
+        assert open(served_sam).read() == open(offline_sam).read()
+        assert main(["client", "stats", "--socket", socket_path]) == 0
+        assert main(["client", "shutdown", "--socket",
+                     socket_path]) == 0
+        daemon.join(timeout=10)
+        assert not daemon.is_alive()
+        assert exit_codes == [0]
+        out = capsys.readouterr().out
+        assert "daemon alive" in out
+        assert "mapped 30 pairs" in out
+        assert "daemon stopped" in out
+
+    def test_client_map_requires_reads(self, tmp_path, capsys):
+        assert main(["client", "map",
+                     "--socket", str(tmp_path / "x.sock")]) == 2
+        assert "--reads1" in capsys.readouterr().err
+
+    def test_client_without_daemon_errors_cleanly(self, tmp_path,
+                                                  capsys):
+        assert main(["client", "ping",
+                     "--socket", str(tmp_path / "gone.sock")]) == 1
+        assert "repro serve" in capsys.readouterr().err

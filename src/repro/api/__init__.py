@@ -1,21 +1,28 @@
-"""The public mapping API: one facade over the whole toolchain.
+"""The public mapping API: one engine-polymorphic facade.
 
 This package is the supported programmatic surface of the
-reproduction.  Everything the ``repro`` CLI can do — open or build an
-index, stream paired reads through the batched engine and the
-persistent worker pool, write SAM — is reachable through four objects:
+reproduction.  Every workload — the paired-end GenPair pipeline, the
+mm2-like baseline, single-read long-read mapping — and every output
+format (SAM, PAF, JSONL) flows through the same objects:
 
 * :class:`MappingConfig` — every knob of a run in one validated,
-  round-trippable object, with the canonical
-  :class:`IndexFingerprint` shared with :mod:`repro.index`;
+  round-trippable object: the canonical :class:`IndexFingerprint`
+  shared with :mod:`repro.index`, the ``engine``/``output_format``
+  workload selection, and engine-specific sub-configs
+  (:class:`Mm2Options`, :class:`LongReadOptions`) that are rejected
+  loudly when they don't match the selected engine;
 * :class:`Mapper` — the context-manager facade: construct once from an
   index file or a reference, then call :meth:`~Mapper.map`,
-  :meth:`~Mapper.map_file`, and :meth:`~Mapper.to_sam` as often as
-  needed; the memory-mapped index and the forked worker pool are owned
-  by the facade and **reused across calls**;
+  :meth:`~Mapper.map_file`, and :meth:`~Mapper.write` as often as
+  needed, with any registered engine per call; the memory-mapped
+  index, lazily-built engine instances, and the forked worker pool are
+  owned by the facade and **reused across calls**.  All engines emit
+  the common :class:`MappingResult` record, and
+  :meth:`~Mapper.map_and_call` chains variant calling as a post-stage;
 * :class:`MapServer` / :func:`serve` — the ``repro serve`` daemon: a
   long-running process holding the warm ``Mapper`` and answering
-  newline-delimited JSON mapping requests over a UNIX socket;
+  newline-delimited JSON mapping requests (with per-request
+  ``engine``/``format`` selection) over a UNIX socket;
 * :class:`Client` — the thin connection object behind ``repro client``.
 
 Hello world::
@@ -27,13 +34,15 @@ Hello world::
         mapper.to_sam(results, "demo.sam")
         print(mapper.last_stats.pairs_total, "pairs mapped")
 
-Stage selection is declarative through the registries
-(:data:`~repro.api.registry.FILTER_CHAINS`,
+Workload and stage selection are declarative through the registries
+(:data:`~repro.api.registry.ENGINES`,
+:data:`~repro.api.registry.OUTPUT_FORMATS`,
+:data:`~repro.api.registry.FILTER_CHAINS`,
 :data:`~repro.api.registry.ALIGNERS`)::
 
-    config = MappingConfig(filter_chain="shd", aligner="light")
+    config = MappingConfig(engine="longread", output_format="paf")
     with Mapper.from_index("demo.rpix", config=config) as mapper:
-        ...
+        mapper.write(mapper.map_file("long.fq"), "long.paf")
 
 Attributes resolve lazily (PEP 562) so low-level modules —
 ``repro.index`` imports the canonical fingerprint from
@@ -48,11 +57,22 @@ _EXPORTS = {
     "MappingConfig": "config",
     "MappingConfigError": "config",
     "IndexFingerprint": "config",
+    "Mm2Options": "config",
+    "LongReadOptions": "config",
     "UNSET": "config",
     "ALIGNERS": "registry",
+    "ENGINES": "registry",
     "FILTER_CHAINS": "registry",
+    "OUTPUT_FORMATS": "registry",
+    "OutputFormat": "registry",
+    "output_format": "registry",
     "RegistryError": "registry",
     "StageRegistry": "registry",
+    "Engine": "engines",
+    "GenPairEngine": "engines",
+    "LongReadEngine": "engines",
+    "Mm2Engine": "engines",
+    "MappingResult": "engines",
     "Mapper": "mapper",
     "MapServer": "server",
     "ServerError": "server",
@@ -65,12 +85,16 @@ _EXPORTS = {
 __all__ = sorted(_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from ..genome.results import MappingResult
     from .client import Client, ClientError
-    from .config import (UNSET, IndexFingerprint, MappingConfig,
-                         MappingConfigError)
+    from .config import (UNSET, IndexFingerprint, LongReadOptions,
+                         MappingConfig, MappingConfigError, Mm2Options)
+    from .engines import (Engine, GenPairEngine, LongReadEngine,
+                          Mm2Engine)
     from .mapper import Mapper
-    from .registry import (ALIGNERS, FILTER_CHAINS, RegistryError,
-                           StageRegistry)
+    from .registry import (ALIGNERS, ENGINES, FILTER_CHAINS,
+                           OUTPUT_FORMATS, OutputFormat, RegistryError,
+                           StageRegistry, output_format)
     from .server import MapServer, ServerError, ServerStats, serve
 
 

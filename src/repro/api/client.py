@@ -89,13 +89,27 @@ class Client:
         """Ask the daemon to shut down gracefully."""
         return self.request({"op": "shutdown"})
 
-    def map_pairs(self, pairs: Iterable, header: bool = False
-                  ) -> Dict[str, Any]:
+    @staticmethod
+    def _workload(payload: Dict[str, Any], engine: Optional[str],
+                  format: Optional[str]) -> Dict[str, Any]:
+        """Attach per-request engine/format selection when given."""
+        if engine is not None:
+            payload["engine"] = engine
+        if format is not None:
+            payload["format"] = format
+        return payload
+
+    def map_pairs(self, pairs: Iterable, header: bool = False,
+                  engine: Optional[str] = None,
+                  format: Optional[str] = None) -> Dict[str, Any]:
         """Map inline pairs; reads may be ACGT strings or code arrays.
 
-        Returns the raw response: ``sam`` (record lines, prefixed with
-        the header lines when ``header=True``), per-request ``stats``,
-        and ``elapsed_s``.
+        ``engine``/``format`` select a registered engine and output
+        format for this request (default: the daemon's configured
+        ones).  Returns the raw response: ``lines`` (record lines in
+        the requested format, prefixed with the header lines when
+        ``header=True``; ``sam`` stays as an alias for the SAM
+        format), per-request ``stats``, and ``elapsed_s``.
         """
         wire: List[List[str]] = []
         for number, entry in enumerate(pairs):
@@ -118,21 +132,61 @@ class Client:
                     "or {'read1': ..., 'read2': ..., 'name'?: ...}") \
                     from None
             wire.append(item)
-        return self.request({"op": "map", "pairs": wire,
-                             "header": header})
+        return self.request(self._workload(
+            {"op": "map", "pairs": wire, "header": header},
+            engine, format))
 
-    def map_file(self, reads1: PathLike, reads2: PathLike,
-                 out: PathLike) -> Dict[str, Any]:
+    def map_reads(self, reads: Iterable, header: bool = False,
+                  engine: str = "longread",
+                  format: Optional[str] = None) -> Dict[str, Any]:
+        """Map inline single reads through a single-read engine.
+
+        ``reads`` entries are ACGT strings / code arrays, ``(read,
+        name)`` tuples, or ``{'read': ..., 'name'?: ...}`` dicts.
+        """
+        wire: List[List[str]] = []
+        for number, entry in enumerate(reads):
+            try:
+                if isinstance(entry, dict):
+                    item = [_as_text(entry["read"])]
+                    if entry.get("name") is not None:
+                        item.append(str(entry["name"]))
+                elif isinstance(entry, (tuple, list)):
+                    item = [_as_text(entry[0])]
+                    if len(entry) > 1:
+                        item.append(str(entry[1]))
+                else:
+                    item = [_as_text(entry)]
+            except (IndexError, KeyError):
+                raise ClientError(
+                    f"read {number}: expected read, (read[, name]), "
+                    "or {'read': ..., 'name'?: ...}") from None
+            wire.append(item)
+        return self.request(self._workload(
+            {"op": "map", "reads": wire, "header": header},
+            engine, format))
+
+    def map_file(self, reads1: PathLike,
+                 reads2: Optional[PathLike] = None,
+                 out: Optional[PathLike] = None,
+                 engine: Optional[str] = None,
+                 format: Optional[str] = None) -> Dict[str, Any]:
         """Map FASTQ paths daemon-side, writing ``out`` daemon-side.
 
+        Paired engines take ``reads1`` and ``reads2``; single-read
+        engines take ``reads1`` alone (leave ``reads2`` as ``None``).
         Paths are resolved by the daemon process, so relative paths
         are made absolute here first.
         """
-        return self.request({
+        if out is None:
+            raise ClientError("map_file needs an output path")
+        payload = {
             "op": "map_file",
             "reads1": str(Path(reads1).absolute()),
-            "reads2": str(Path(reads2).absolute()),
-            "out": str(Path(out).absolute())})
+            "out": str(Path(out).absolute())}
+        if reads2 is not None:
+            payload["reads2"] = str(Path(reads2).absolute())
+        return self.request(self._workload(payload, engine, format))
 
     # -- lifecycle -----------------------------------------------------
 

@@ -33,13 +33,103 @@ from ..core.fingerprint import UNSET, IndexFingerprint
 from ..core.pairfilter import DEFAULT_DELTA
 from ..core.seedmap import DEFAULT_FILTER_THRESHOLD
 
-__all__ = ["UNSET", "IndexFingerprint", "MappingConfig",
-           "MappingConfigError"]
+__all__ = ["UNSET", "IndexFingerprint", "LongReadOptions", "MappingConfig",
+           "MappingConfigError", "Mm2Options"]
 
 
 class MappingConfigError(ValueError):
     """A :class:`MappingConfig` failed validation, or a config and an
     index disagree on the fingerprint."""
+
+
+def _reject_unknown(cls, payload: Dict[str, Any], label: str) -> None:
+    """Raise naming every key of ``payload`` that ``cls`` lacks, so a
+    version-skewed wire payload fails loudly instead of dropping knobs."""
+    known = {spec.name for spec in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise MappingConfigError(
+            f"unknown {label} field(s): {', '.join(unknown)}")
+
+
+@dataclass(frozen=True)
+class Mm2Options:
+    """Engine-specific knobs of the ``mm2`` engine.
+
+    Only meaningful with ``engine="mm2"`` — attaching these options to
+    a config selecting another engine is rejected loudly (the knobs
+    would otherwise silently do nothing).
+    """
+
+    #: Attempt mate rescue for pairs with no proper combination.
+    mate_rescue: bool = True
+    #: Proper-pair insert-size bound (and the mate-rescue window size).
+    max_insert: int = 1000
+    #: Alignments below this fraction of the perfect score are unmapped.
+    min_score_fraction: float = 0.4
+
+    def problems(self) -> List[str]:
+        out: List[str] = []
+        if not isinstance(self.mate_rescue, bool):
+            out.append(f"mm2.mate_rescue must be a boolean, got "
+                       f"{self.mate_rescue!r}")
+        if not isinstance(self.max_insert, int) \
+                or isinstance(self.max_insert, bool) or self.max_insert < 1:
+            out.append(f"mm2.max_insert must be an integer >= 1, got "
+                       f"{self.max_insert!r}")
+        if not isinstance(self.min_score_fraction, (int, float)) \
+                or not 0.0 <= float(self.min_score_fraction) <= 1.0:
+            out.append("mm2.min_score_fraction must be within [0, 1], "
+                       f"got {self.min_score_fraction!r}")
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Mm2Options":
+        _reject_unknown(cls, payload, "Mm2Options")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class LongReadOptions:
+    """Engine-specific knobs of the ``longread`` engine.
+
+    Only meaningful with ``engine="longread"`` — attaching these
+    options to a config selecting another engine is rejected loudly.
+    """
+
+    #: Pseudo-pair chunk length (must be >= the config's seed_length).
+    chunk_length: int = 150
+    #: Bin width for location voting.
+    vote_bin: int = 64
+    #: How many top-voted locations get a DP alignment attempt.
+    max_votes_tried: int = 3
+    #: Vote threshold: bins with fewer votes never get a DP attempt.
+    min_votes: int = 1
+    #: Band width of the finishing DP alignment.
+    dp_bandwidth: int = 96
+
+    def problems(self) -> List[str]:
+        out: List[str] = []
+        for name, minimum in (("chunk_length", 1), ("vote_bin", 1),
+                              ("max_votes_tried", 1), ("min_votes", 1),
+                              ("dp_bandwidth", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < minimum:
+                out.append(f"longread.{name} must be an integer >= "
+                           f"{minimum}, got {value!r}")
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "LongReadOptions":
+        _reject_unknown(cls, payload, "LongReadOptions")
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -54,6 +144,12 @@ class MappingConfig:
     * **algorithm** — the remaining
       :class:`~repro.core.pipeline.GenPairConfig` parameters
       (``delta``, ``max_edits``, score/fallback knobs);
+    * **workload** — ``engine`` names the mapping engine
+      (``genpair`` | ``mm2`` | ``longread``), ``output_format`` the
+      output writer (``sam`` | ``paf`` | ``jsonl``), and ``mm2`` /
+      ``longread`` carry engine-specific sub-configs
+      (:class:`Mm2Options` / :class:`LongReadOptions`) that are
+      rejected loudly when they don't apply to the selected engine;
     * **stages** — ``filter_chain`` and ``aligner`` name registry
       entries (:mod:`repro.api.registry`), selecting the pre-alignment
       candidate screen and the candidate aligner declaratively;
@@ -79,6 +175,11 @@ class MappingConfig:
     fallback_pad: int = 24
     max_joint_candidates: int = 16
     min_dp_score_fraction: float = 0.5
+    # workload
+    engine: str = "genpair"
+    output_format: str = "sam"
+    mm2: Optional[Mm2Options] = None
+    longread: Optional[LongReadOptions] = None
     # stages
     filter_chain: str = "none"
     aligner: str = "light"
@@ -91,6 +192,14 @@ class MappingConfig:
     verify_index: bool = True
 
     def __post_init__(self) -> None:
+        # Wire payloads carry sub-configs as plain dicts; adopt them as
+        # the typed options objects before validating (unknown keys are
+        # rejected by name inside from_dict).
+        if isinstance(self.mm2, dict):
+            object.__setattr__(self, "mm2", Mm2Options.from_dict(self.mm2))
+        if isinstance(self.longread, dict):
+            object.__setattr__(self, "longread",
+                               LongReadOptions.from_dict(self.longread))
         self.validate()
 
     # -- validation ----------------------------------------------------
@@ -125,26 +234,51 @@ class MappingConfig:
                 or not 0.0 <= float(self.min_dp_score_fraction) <= 1.0:
             problems.append("min_dp_score_fraction must be within "
                             f"[0, 1], got {self.min_dp_score_fraction!r}")
-        for name in ("filter_chain", "aligner"):
+        for name in ("engine", "output_format", "filter_chain",
+                     "aligner"):
             if not isinstance(getattr(self, name), str):
                 problems.append(f"{name} must be a registry name string, "
                                 f"got {getattr(self, name)!r}")
+        # Engine sub-configs must match the selected engine: silently
+        # inert knobs are the failure mode this check exists to kill.
+        for field_name, option_type in (("mm2", Mm2Options),
+                                        ("longread", LongReadOptions)):
+            value = getattr(self, field_name)
+            if value is None:
+                continue
+            if not isinstance(value, option_type):
+                problems.append(
+                    f"{field_name} must be a {option_type.__name__} "
+                    f"(or an equivalent dict), got {value!r}")
+                continue
+            problems.extend(value.problems())
+            if self.engine != field_name:
+                problems.append(
+                    f"{field_name} options only apply to "
+                    f"engine={field_name!r}, but engine is "
+                    f"{self.engine!r}; drop them or select the "
+                    f"matching engine")
         if problems:
             raise MappingConfigError(
                 "invalid MappingConfig: " + "; ".join(problems))
         return self
 
     def resolve_stages(self) -> None:
-        """Check ``filter_chain``/``aligner`` against the registries.
+        """Check every registry-named knob against its registry.
 
-        Separate from :meth:`validate` so constructing a config stays
-        import-light; :class:`~repro.api.Mapper` calls this before
-        building a pipeline, and the error names the available stages.
+        ``filter_chain``/``aligner``/``engine``/``output_format`` are
+        validated by name; separate from :meth:`validate` so
+        constructing a config stays import-light.
+        :class:`~repro.api.Mapper` calls this before building anything,
+        and each error names the available entries.
         """
-        from .registry import ALIGNERS, FILTER_CHAINS
+        from .registry import (ALIGNERS, ENGINES, FILTER_CHAINS,
+                               OUTPUT_FORMATS)
 
         FILTER_CHAINS.require(self.filter_chain)
         ALIGNERS.require(self.aligner)
+        ENGINES.require(self.engine)
+        OUTPUT_FORMATS.require(self.output_format)
 
     # -- derivations ---------------------------------------------------
 
@@ -169,6 +303,16 @@ class MappingConfig:
             fallback_pad=self.fallback_pad,
             max_joint_candidates=self.max_joint_candidates,
             min_dp_score_fraction=self.min_dp_score_fraction)
+
+    def mm2_options(self) -> Mm2Options:
+        """The effective ``mm2`` engine options (defaults when unset)."""
+        return self.mm2 if self.mm2 is not None else Mm2Options()
+
+    def longread_options(self) -> LongReadOptions:
+        """The effective ``longread`` engine options (defaults when
+        unset)."""
+        return self.longread if self.longread is not None \
+            else LongReadOptions()
 
     def replace(self, **changes: Any) -> "MappingConfig":
         """A copy with ``changes`` applied (and re-validated)."""

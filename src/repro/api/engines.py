@@ -1,0 +1,398 @@
+"""Engine adapters: one protocol, three mapping engines.
+
+The :class:`~repro.api.Mapper` facade is engine-polymorphic: every
+workload — paired-end GenPair, the mm2-like baseline, single-read
+long-read voting — flows through the same ``map``/``map_stream``/
+``map_file`` surface and the same :class:`~repro.genome.MappingResult`
+record.  This module defines the :class:`Engine` protocol those
+workloads implement and the three adapters registered in
+:data:`~repro.api.registry.ENGINES`:
+
+* :class:`GenPairEngine` (``genpair``) — the paper's pipeline, wrapping
+  :class:`~repro.core.pipeline.GenPairPipeline` plus the persistent
+  :class:`~repro.core.pipeline.StreamExecutor` worker pool (this is
+  the only engine that fans out to forked workers; its results are
+  byte-identical to the pre-polymorphic facade);
+* :class:`Mm2Engine` (``mm2``) — the minimizer seed-chain-align
+  baseline with paired-end support and configurable mate rescue
+  (:class:`~repro.api.config.Mm2Options`); the minimizer index is
+  built lazily, on engine construction;
+* :class:`LongReadEngine` (``longread``) — single-read long-read
+  mapping via pseudo-pairs + Location Voting
+  (:class:`~repro.api.config.LongReadOptions`), sharing the facade's
+  warm SeedMap so one memory-mapped index serves both GenPair and
+  long-read traffic.
+
+Engines are built lazily by the facade (one instance per engine name,
+reused across runs and daemon requests) and own their per-run
+statistics lifecycle: ``begin_run`` zeroes the per-run counters,
+``run_stats`` returns them, and the facade folds them into per-engine
+cumulative totals with :func:`merge_stats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+from ..core.longread import LongReadConfig, LongReadMapper, LongReadStats
+from ..core.pipeline import (GenPairPipeline, PipelineStats,
+                             StreamExecutor, _fork_context)
+from ..genome.results import MappingResult
+from .config import MappingConfig, MappingConfigError
+from .registry import ALIGNERS, FILTER_CHAINS
+
+#: ``input_kind`` values: what one workload item is.
+INPUT_PAIRED = "paired"    # (read1, read2, name) tuples / paired FASTQ
+INPUT_SINGLE = "single"    # (codes, name) tuples / single-read FASTQ
+
+
+def merge_stats(total, run) -> None:
+    """Fold one flat integer-counter dataclass into another in place.
+
+    The generic form of :meth:`PipelineStats.merge` — works for any
+    engine's stats dataclass (``PipelineStats``, ``MapperStats``,
+    ``LongReadStats``) as long as the fields are numeric.
+    """
+    for spec in dataclasses.fields(run):
+        setattr(total, spec.name,
+                getattr(total, spec.name) + getattr(run, spec.name))
+
+
+def stats_dict(stats) -> dict:
+    """A stats dataclass as plain JSON types (the wire/report form)."""
+    return {spec.name: int(getattr(stats, spec.name))
+            for spec in dataclasses.fields(stats)}
+
+
+class Engine:
+    """The protocol every mapping engine adapter satisfies.
+
+    Class attributes ``name`` (the registry entry) and ``input_kind``
+    (:data:`INPUT_PAIRED` or :data:`INPUT_SINGLE`); instance surface:
+
+    * :meth:`begin_run` — zero the per-run counters (called by the
+      facade at the start of every run);
+    * :meth:`map_stream` — map a lazy item stream, yielding
+      :class:`~repro.genome.MappingResult` in input order;
+    * :meth:`finish_run` — fold any deferred counters (worker pools);
+    * :meth:`run_stats` — the per-run stats dataclass;
+    * :meth:`fresh_stats` — a zeroed stats dataclass of this engine's
+      type (the facade's cumulative accumulator);
+    * :meth:`warm_up` / :meth:`close` — resource lifecycle.
+    """
+
+    name: str = ""
+    input_kind: str = INPUT_PAIRED
+
+    def begin_run(self) -> None:
+        raise NotImplementedError
+
+    def map_stream(self, items: Iterable) -> Iterator[MappingResult]:
+        raise NotImplementedError
+
+    def finish_run(self) -> None:
+        pass
+
+    def run_stats(self):
+        raise NotImplementedError
+
+    def fresh_stats(self):
+        raise NotImplementedError
+
+    def warm_up(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+def _chunked(items: Iterable, chunk_size: int,
+             normalize) -> Iterator[List]:
+    """Chunk a lazy item stream through ``normalize(chunk, consumed)``.
+
+    ``consumed`` is the running item count, so unnamed items are
+    numbered globally across the whole stream — the same contract as
+    ``GenPairPipeline._chunk_stream`` (synthetic names never repeat
+    between chunks).
+    """
+    chunk: List = []
+    consumed = 0
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= chunk_size:
+            yield normalize(chunk, consumed)
+            consumed += len(chunk)
+            chunk = []
+    if chunk:
+        yield normalize(chunk, consumed)
+
+
+def _chunk_paired(items: Iterable, chunk_size: int
+                  ) -> Iterator[List[Tuple[np.ndarray, np.ndarray, str]]]:
+    """Chunk + normalize a paired-item stream (global pair numbering)."""
+    return _chunked(
+        items, chunk_size,
+        lambda chunk, consumed: GenPairPipeline._normalize_pairs(
+            chunk, first_index=consumed))
+
+
+def _normalize_reads(items: Iterable, first_index: int = 0
+                     ) -> List[Tuple[np.ndarray, str]]:
+    """Coerce single-read inputs to ``(codes, name)`` tuples.
+
+    Accepts what the paired normalizer accepts, one read at a time:
+    ``(codes, name)`` tuples (the :func:`~repro.genome.iter_reads`
+    shape), objects with ``codes``/``name`` (e.g. ``SimulatedRead``),
+    and bare code arrays (named ``read{N}`` by stream position).
+    """
+    out: List[Tuple[np.ndarray, str]] = []
+    for index, item in enumerate(items, start=first_index):
+        if hasattr(item, "codes"):
+            out.append((item.codes, item.name))
+        elif isinstance(item, np.ndarray):
+            out.append((item, f"read{index}"))
+        else:
+            codes = item[0]
+            name = item[1] if len(item) > 1 else f"read{index}"
+            out.append((codes, str(name)))
+    return out
+
+
+def _chunk_single(items: Iterable, chunk_size: int
+                  ) -> Iterator[List[Tuple[np.ndarray, str]]]:
+    """Chunk + normalize a single-read stream (global read numbering)."""
+    return _chunked(
+        items, chunk_size,
+        lambda chunk, consumed: _normalize_reads(chunk,
+                                                 first_index=consumed))
+
+
+def _lazy_full_fallback(reference):
+    """Full-DP fallback that defers the O(genome) minimizer-index build
+    until the first pair actually needs it, so a mapper whose pairs all
+    stay on the GenPair path keeps mmap-cheap startup."""
+    from ..mapper import Mm2LikeMapper, make_full_fallback
+
+    state: dict = {}
+
+    def fallback(read1, read2, name):
+        if "fn" not in state:
+            state["fn"] = make_full_fallback(Mm2LikeMapper(reference))
+        return state["fn"](read1, read2, name)
+
+    return fallback
+
+
+class GenPairEngine(Engine):
+    """The paper's paired-end pipeline behind the Engine protocol.
+
+    Owns the :class:`GenPairPipeline` (stage selection through the
+    registries) and the lazily-created, **reused**
+    :class:`StreamExecutor` worker pool — exactly the wiring the
+    pre-polymorphic ``Mapper`` had inline, so ``engine="genpair"``
+    output is byte-identical to the historical facade.
+    """
+
+    name = "genpair"
+    input_kind = INPUT_PAIRED
+
+    def __init__(self, facade) -> None:
+        config: MappingConfig = facade.config
+        chain = FILTER_CHAINS.create(config.filter_chain, config)
+        # An empty chain means "screen nothing": hand the pipeline None
+        # so the candidate hot path stays exactly the historical code.
+        screen = chain if len(chain) else None
+        aligner = ALIGNERS.create(config.aligner, config)
+        full_fallback = None
+        if config.full_fallback:
+            if self._config_wants_pool(config):
+                # Forked workers inherit a pre-fork build copy-on-write;
+                # building lazily would make every worker rebuild it.
+                from ..mapper import Mm2LikeMapper, make_full_fallback
+                full_fallback = make_full_fallback(
+                    Mm2LikeMapper(facade.reference))
+            else:
+                full_fallback = _lazy_full_fallback(facade.reference)
+        self.config = config
+        self.pipeline = GenPairPipeline(
+            facade.reference, seedmap=facade.seedmap,
+            config=config.genpair(), full_fallback=full_fallback,
+            aligner=aligner, candidate_screen=screen)
+        self._executor = None
+
+    # -- pool lifecycle ------------------------------------------------
+
+    @staticmethod
+    def _config_wants_pool(config: MappingConfig) -> bool:
+        return (config.workers > 1 and config.batch_size > 0
+                and _fork_context() is not None)
+
+    def _wants_pool(self) -> bool:
+        return self._config_wants_pool(self.config)
+
+    def _ensure_executor(self):
+        if self._executor is None and self._wants_pool():
+            self._executor = StreamExecutor(
+                self.pipeline, workers=self.config.workers,
+                chunk_size=self.config.batch_size,
+                inflight=self.config.inflight)
+        return self._executor
+
+    def warm_up(self) -> None:
+        self._ensure_executor()
+
+    # -- runs ----------------------------------------------------------
+
+    def begin_run(self) -> None:
+        # Fresh per-run counters; previous totals live on in the facade.
+        self.pipeline.stats = PipelineStats()
+
+    def map_stream(self, items: Iterable) -> Iterator[MappingResult]:
+        config = self.config
+        executor = self._ensure_executor()
+        if executor is not None:
+            source = executor.map(items)
+        elif config.batch_size > 0:
+            source = self.pipeline.map_stream(
+                items, chunk_size=config.batch_size,
+                workers=config.workers if config.workers > 1 else None)
+        else:
+            source = self._scalar_stream(items)
+        for result in source:
+            yield MappingResult(name=result.name,
+                                records=(result.record1, result.record2),
+                                engine=self.name, stage=result.stage,
+                                orientation=result.orientation,
+                                joint_score=result.joint_score)
+
+    def _scalar_stream(self, items: Iterable):
+        # The scalar reference engine, with the same global
+        # synthetic-name numbering as the chunked paths.
+        for chunk in self.pipeline._chunk_stream(items, 1):
+            for read1, read2, name in chunk:
+                yield self.pipeline.map_pair(read1, read2, name)
+
+    def finish_run(self) -> None:
+        if self._executor is not None:
+            self._executor.fold_stats()
+
+    def run_stats(self) -> PipelineStats:
+        return self.pipeline.stats
+
+    def fresh_stats(self) -> PipelineStats:
+        return PipelineStats()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            # close() folds residual worker stats into the pipeline's
+            # current counters; nothing is lost.
+            executor.close()
+
+
+class Mm2Engine(Engine):
+    """The minimizer seed-chain-align baseline behind the protocol.
+
+    Paired-end input; the O(genome) minimizer index is built when the
+    engine is first constructed (i.e. on the first ``engine="mm2"``
+    request against a warm facade, never sooner).
+    """
+
+    name = "mm2"
+    input_kind = INPUT_PAIRED
+
+    def __init__(self, facade) -> None:
+        from ..mapper.mm2 import MapperConfig, MapperStats, Mm2LikeMapper
+
+        options = facade.config.mm2_options()
+        self.config = facade.config
+        self._stats_type = MapperStats
+        self.mapper = Mm2LikeMapper(
+            facade.reference,
+            config=MapperConfig(
+                max_insert=options.max_insert,
+                min_score_fraction=options.min_score_fraction,
+                mate_rescue=options.mate_rescue))
+
+    def begin_run(self) -> None:
+        self.mapper.stats = self._stats_type()
+
+    def map_stream(self, items: Iterable) -> Iterator[MappingResult]:
+        chunk_size = max(self.config.batch_size, 1)
+        for chunk in _chunk_paired(items, chunk_size):
+            for (read1, read2, name), outcome in zip(
+                    chunk, self.mapper.map_pairs(chunk)):
+                record1, record2, proper = outcome
+                if proper:
+                    stage = "proper_pair"
+                elif record1.mapped or record2.mapped:
+                    stage = "mapped"
+                else:
+                    stage = "unmapped"
+                yield MappingResult(name=name,
+                                    records=(record1, record2),
+                                    engine=self.name, stage=stage,
+                                    joint_score=record1.score
+                                    + record2.score)
+
+    def run_stats(self):
+        return self.mapper.stats
+
+    def fresh_stats(self):
+        return self._stats_type()
+
+
+class LongReadEngine(Engine):
+    """Single-read long-read mapping behind the protocol.
+
+    Shares the facade's SeedMap — one warm memory-mapped index serves
+    both GenPair and long-read traffic — which is why the facade's
+    ``seed_length``/``delta`` flow into :class:`LongReadConfig` and the
+    pseudo-pair ``chunk_length`` must fit at least one seed.
+    """
+
+    name = "longread"
+    input_kind = INPUT_SINGLE
+
+    def __init__(self, facade) -> None:
+        config: MappingConfig = facade.config
+        options = config.longread_options()
+        if options.chunk_length < config.seed_length:
+            raise MappingConfigError(
+                f"longread.chunk_length ({options.chunk_length}) must "
+                f"be >= seed_length ({config.seed_length}): each "
+                "pseudo-pair chunk must hold at least one seed")
+        self.config = config
+        self.mapper = LongReadMapper(
+            facade.reference, seedmap=facade.seedmap,
+            config=LongReadConfig(
+                chunk_length=options.chunk_length,
+                seed_length=config.seed_length,
+                seeds_per_chunk=config.seeds_per_read,
+                delta=config.delta,
+                vote_bin=options.vote_bin,
+                max_votes_tried=options.max_votes_tried,
+                min_votes=options.min_votes,
+                dp_bandwidth=options.dp_bandwidth))
+
+    def begin_run(self) -> None:
+        self.mapper.stats = LongReadStats()
+
+    def map_stream(self, items: Iterable) -> Iterator[MappingResult]:
+        chunk_size = max(self.config.batch_size, 1)
+        for chunk in _chunk_single(items, chunk_size):
+            for (codes, name), record in zip(chunk,
+                                             self.mapper.map_reads(chunk)):
+                yield MappingResult(
+                    name=name, records=(record,), engine=self.name,
+                    stage="mapped" if record.mapped else "unmapped",
+                    joint_score=record.score)
+
+    def run_stats(self) -> LongReadStats:
+        return self.mapper.stats
+
+    def fresh_stats(self) -> LongReadStats:
+        return LongReadStats()

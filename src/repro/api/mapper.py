@@ -1,70 +1,60 @@
 """The :class:`Mapper` facade: one object that owns a whole mapping setup.
 
-Before this facade, serving reads meant hand-wiring four modules:
-``open_index`` for the memory-mapped tables, ``GenPairPipeline`` with a
-``GenPairConfig``, ``StreamExecutor`` for the worker pool, and
-``SamWriter`` for output — with the worker pool forked anew on *every*
-``map_stream(workers=N)`` call.  :class:`Mapper` packages that wiring
-behind a context manager:
+:class:`Mapper` is **engine-polymorphic**: one facade (one reference,
+one memory-mapped SeedMap index, one config) serves every registered
+workload — the paired-end GenPair pipeline, the mm2-like baseline, and
+single-read long-read mapping — through the same ``map`` /
+``map_stream`` / ``map_file`` surface, emitting the common
+:class:`~repro.genome.MappingResult` record whatever the engine.
+Engine instances are built **lazily, once per engine name**, and reused
+across calls (and daemon requests); the GenPair engine additionally
+owns the persistent :class:`~repro.core.pipeline.StreamExecutor` worker
+pool, created on first use and reused until :meth:`close`.
 
-* :meth:`Mapper.from_index` / :meth:`Mapper.from_reference` construct
-  it (mmap-cheap and build-once respectively), validating the config
-  against the index's canonical fingerprint;
-* the :class:`~repro.core.pipeline.StreamExecutor` worker pool is
-  created **lazily on the first mapping call and reused across calls**
-  until :meth:`close` — the warm-pool property the ``repro serve``
-  daemon is built on;
-* stage selection (``filter_chain``, ``aligner``) resolves through the
-  registries, so a config fully determines the pipeline;
-* statistics have an explicit lifecycle: :attr:`last_stats` is the
-  just-completed run, :attr:`stats` accumulates across runs, and
-  :meth:`reset_stats` rewinds the accumulator — no more counters
-  silently bleeding between successive runs on one pipeline.
+Output is equally pluggable: :meth:`write` and :meth:`lines` resolve
+``sam`` / ``paf`` / ``jsonl`` through
+:data:`~repro.api.registry.OUTPUT_FORMATS`, with the daemon's wire
+lines byte-identical to file output by construction.
+:meth:`map_and_call` chains :func:`repro.variants.call_variants` as an
+optional post-stage: one pass over the result stream writes the
+alignment file *and* piles up mapped records for variant calling.
+
+Statistics have an explicit lifecycle: :attr:`last_stats` is the
+just-completed run (typed by the engine that ran), :attr:`stats`
+accumulates GenPair runs (the historical counters), and
+:meth:`engine_stats` reports cumulative per-engine counters;
+:meth:`reset_stats` rewinds the accumulators.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Iterable, Iterator, List, Optional, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
-from ..core.pipeline import GenPairPipeline, PairResult, PipelineStats, \
-    StreamExecutor, _fork_context
-from ..genome.io_fasta import iter_pairs, read_fasta
+from ..core.pipeline import PipelineStats, _fork_context
+from ..genome.io_fasta import iter_pairs, iter_reads, read_fasta
 from ..genome.reference import ReferenceGenome
-from ..genome.sam import SamWriter, sam_header_lines, sam_record_lines
+from ..genome.results import MappingResult, result_records
 from .config import MappingConfig, MappingConfigError
-from .registry import ALIGNERS, FILTER_CHAINS
+from .engines import INPUT_SINGLE, Engine, merge_stats, stats_dict
+from .registry import ENGINES, output_format
 
 PathLike = Union[str, Path]
 
 
-def _lazy_full_fallback(reference: ReferenceGenome):
-    """Full-DP fallback that defers the O(genome) minimizer-index build
-    until the first pair actually needs it, so a mapper whose pairs all
-    stay on the GenPair path keeps mmap-cheap startup."""
-    from ..mapper import Mm2LikeMapper, make_full_fallback
-
-    state: dict = {}
-
-    def fallback(read1, read2, name):
-        if "fn" not in state:
-            state["fn"] = make_full_fallback(Mm2LikeMapper(reference))
-        return state["fn"](read1, read2, name)
-
-    return fallback
-
-
 class Mapper:
-    """Context-manager facade over index, pipeline, and worker pool.
+    """Context-manager facade over index, engines, and worker pool.
 
     Construct through :meth:`from_index` or :meth:`from_reference`;
     the plain constructor accepts pre-built objects (the power-user
     seam the classmethods and the daemon share).
 
     One mapping run at a time: :meth:`map`, :meth:`map_file`, and the
-    :meth:`map_stream` generator may be called repeatedly — the worker
-    pool persists between calls — but not concurrently (a second call
-    while a stream is being consumed raises).
+    :meth:`map_stream` generator may be called repeatedly — engines and
+    the worker pool persist between calls — but not concurrently (a
+    second call while a stream is being consumed raises).  Every
+    mapping call takes an optional ``engine=`` override; without it the
+    config's ``engine`` runs.
     """
 
     def __init__(self, reference: ReferenceGenome, seedmap,
@@ -74,30 +64,12 @@ class Mapper:
                        else MappingConfig()).validate()
         self.config.resolve_stages()
         self.reference = reference
+        self.seedmap = seedmap
         self.index = index
-        chain = FILTER_CHAINS.create(self.config.filter_chain,
-                                     self.config)
-        # An empty chain means "screen nothing": hand the pipeline None
-        # so the candidate hot path stays exactly the historical code.
-        screen = chain if len(chain) else None
-        aligner = ALIGNERS.create(self.config.aligner, self.config)
-        full_fallback = None
-        if self.config.full_fallback:
-            if self._wants_pool():
-                # Forked workers inherit a pre-fork build copy-on-write;
-                # building lazily would make every worker rebuild it.
-                from ..mapper import Mm2LikeMapper, make_full_fallback
-                full_fallback = make_full_fallback(
-                    Mm2LikeMapper(reference))
-            else:
-                full_fallback = _lazy_full_fallback(reference)
-        self.pipeline = GenPairPipeline(
-            reference, seedmap=seedmap, config=self.config.genpair(),
-            full_fallback=full_fallback, aligner=aligner,
-            candidate_screen=screen)
-        self._executor: Optional[StreamExecutor] = None
-        self._total = PipelineStats()
+        self._engines: Dict[str, Engine] = {}
+        self._totals: Dict[str, Any] = {}
         self.last_stats = PipelineStats()
+        self.last_engine: Optional[str] = None
         self._running = False
         self._closed = False
 
@@ -111,11 +83,11 @@ class Mapper:
 
         With ``config=None`` the mapper adopts the index's fingerprint
         (``overrides`` tune the non-fingerprint knobs, e.g.
-        ``workers=4``).  An explicit ``config`` must agree with the
-        index fingerprint exactly — a mismatch raises
-        :class:`MappingConfigError` naming every conflicting field, so
-        a stale index is rejected loudly instead of silently serving a
-        differently-configured pipeline.
+        ``workers=4`` or ``engine="longread"``).  An explicit
+        ``config`` must agree with the index fingerprint exactly — a
+        mismatch raises :class:`MappingConfigError` naming every
+        conflicting field, so a stale index is rejected loudly instead
+        of silently serving a differently-configured pipeline.
         """
         from ..index import open_index
 
@@ -170,21 +142,59 @@ class Mapper:
                                 step=config.step)
         return cls(reference, seedmap, config=config)
 
+    # -- engines -------------------------------------------------------
+
+    def engine(self, name: Optional[str] = None) -> Engine:
+        """The engine instance for ``name`` (default: the config's).
+
+        Built lazily on first request and reused afterwards — the
+        warm-facade property per-request engine selection in the
+        daemon relies on.  Unknown names raise
+        :class:`~repro.api.registry.RegistryError` listing the
+        registered engines.
+        """
+        self._assert_open()
+        name = name if name is not None else self.config.engine
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = ENGINES.create(name, self)
+            self._engines[name] = engine
+            self._totals.setdefault(name, engine.fresh_stats())
+        return engine
+
+    @property
+    def pipeline(self):
+        """The GenPair engine's pipeline (built on first access)."""
+        return self.engine("genpair").pipeline
+
+    @property
+    def _executor(self):
+        """The GenPair worker pool, if it exists yet (tests and the
+        lifecycle assertions peek here; ``None`` until the first
+        pooled run or :meth:`warm_up`)."""
+        engine = self._engines.get("genpair")
+        return engine._executor if engine is not None else None
+
     # -- mapping -------------------------------------------------------
 
-    def map(self, pairs: Iterable) -> List[PairResult]:
-        """Map pairs eagerly; returns results in input order.
+    def map(self, items: Iterable,
+            engine: Optional[str] = None) -> List[MappingResult]:
+        """Map items eagerly; returns results in input order.
 
-        Accepts what the pipeline accepts: ``(read1, read2[, name])``
-        tuples of code arrays, or objects with ``read1``/``read2``/
-        ``name`` attributes (e.g. ``SimulatedPair``).
+        Paired engines accept ``(read1, read2[, name])`` tuples of code
+        arrays or objects with ``read1``/``read2``/``name``; the
+        single-read ``longread`` engine accepts ``(codes, name)``
+        tuples, objects with ``codes``/``name``, or bare code arrays.
         """
-        return list(self.map_stream(pairs))
+        return list(self.map_stream(items, engine=engine))
 
-    def map_stream(self, pairs: Iterable) -> Iterator[PairResult]:
-        """Map a lazy pair stream, yielding results as chunks finish.
+    def map_stream(self, items: Iterable,
+                   engine: Optional[str] = None
+                   ) -> Iterator[MappingResult]:
+        """Map a lazy item stream, yielding results as chunks finish.
 
-        The worker pool (``config.workers > 1``) is created on the
+        The selected engine (and, for ``genpair`` with
+        ``config.workers > 1``, its worker pool) is created on the
         first call and **reused** by every later one; per-run
         statistics land in :attr:`last_stats` when the returned
         generator is exhausted or closed.
@@ -193,7 +203,7 @@ class Mapper:
         if self._running:
             raise RuntimeError("Mapper is already mapping; one run at "
                                "a time")
-        generator = self._run(pairs)
+        generator = self._run(items, self.engine(engine))
         # Prime to the handshake yield: the run slot is claimed *now*,
         # at call time — a second stream created before this one is
         # consumed raises above instead of silently interleaving — and
@@ -203,51 +213,72 @@ class Mapper:
         return generator
 
     def map_file(self, reads1: PathLike,
-                 reads2: PathLike) -> Iterator[PairResult]:
-        """Map two paired FASTQ files, streaming in O(batch) memory."""
+                 reads2: Optional[PathLike] = None,
+                 engine: Optional[str] = None) -> Iterator[MappingResult]:
+        """Map FASTQ file(s), streaming in O(batch) memory.
+
+        Paired engines take two paired FASTQ paths; the single-read
+        ``longread`` engine takes exactly one.  The wrong arity for the
+        selected engine raises :class:`MappingConfigError` naming the
+        engine and what it expects.
+        """
+        selected = self.engine(engine)
         chunk = self.config.batch_size if self.config.batch_size > 0 \
             else None
-        return self.map_stream(iter_pairs(reads1, reads2,
-                                          chunk_size=chunk))
+        if selected.input_kind == INPUT_SINGLE:
+            if reads2 is not None:
+                raise MappingConfigError(
+                    f"engine {selected.name!r} maps single-read FASTQ; "
+                    "pass one reads file, not two")
+            stream = iter_reads(reads1, chunk_size=chunk)
+        else:
+            if reads2 is None:
+                raise MappingConfigError(
+                    f"engine {selected.name!r} maps paired FASTQ; pass "
+                    "both reads1 and reads2")
+            stream = iter_pairs(reads1, reads2, chunk_size=chunk)
+        return self.map_stream(stream, engine=selected.name)
 
-    def _run(self, pairs: Iterable) -> Iterator[PairResult]:
-        config = self.config
-        pipeline = self.pipeline
+    def _run(self, items: Iterable,
+             engine: Engine) -> Iterator[MappingResult]:
         self._running = True
         try:
             # Fresh per-run counters; the previous run's totals live
-            # on in self._total / self.last_stats.
-            pipeline.stats = PipelineStats()
+            # on in the per-engine accumulators / last_stats.
+            engine.begin_run()
             yield None  # handshake consumed by map_stream's prime
-            executor = self._ensure_executor()
-            if executor is not None:
-                yield from executor.map(pairs)
-            elif config.batch_size > 0:
-                yield from pipeline.map_stream(
-                    pairs, chunk_size=config.batch_size,
-                    workers=config.workers if config.workers > 1
-                    else None)
-            else:
-                # The scalar reference engine, with the same global
-                # synthetic-name numbering as the chunked paths.
-                for chunk in pipeline._chunk_stream(pairs, 1):
-                    for read1, read2, name in chunk:
-                        yield pipeline.map_pair(read1, read2, name)
+            yield from engine.map_stream(items)
         finally:
-            if self._executor is not None:
-                self._executor.fold_stats()
-            self.last_stats = pipeline.stats
-            self._total.merge(pipeline.stats)
+            engine.finish_run()
+            stats = engine.run_stats()
+            self.last_stats = stats
+            self.last_engine = engine.name
+            merge_stats(self._totals[engine.name], stats)
             self._running = False
 
     # -- output --------------------------------------------------------
 
-    def to_sam(self, results: Iterable[PairResult],
-               path: PathLike) -> int:
-        """Drain mapping results into a SAM file; returns the record
-        count.  Closes a generator stream even on error, so the worker
-        pool never leaks in-flight chunks."""
-        with SamWriter(path, reference=self.reference) as writer:
+    def _resolve_format(self, name: Optional[str], results):
+        """The named output format — closing a ``results`` generator
+        first if the name doesn't resolve, so a bad format never
+        leaves a primed run claiming the one-run-at-a-time slot."""
+        try:
+            return output_format(name if name is not None
+                                 else self.config.output_format)
+        except Exception:
+            close = getattr(results, "close", None)
+            if close is not None:
+                close()
+            raise
+
+    def write(self, results: Iterable, path: PathLike,
+              format: Optional[str] = None) -> int:
+        """Drain mapping results into ``path`` in the named output
+        format (default: the config's ``output_format``); returns the
+        record-line count.  Closes a generator stream even on error,
+        so the worker pool never leaks in-flight chunks."""
+        fmt = self._resolve_format(format, results)
+        with fmt.open(path, self.reference) as writer:
             try:
                 writer.drain(results)
             finally:
@@ -256,69 +287,116 @@ class Mapper:
                     close()
             return writer.count
 
-    def sam_lines(self, results: Iterable[PairResult],
-                  header: bool = True) -> Iterator[str]:
-        """Render results as SAM text lines (the daemon's wire form).
+    def lines(self, results: Iterable, format: Optional[str] = None,
+              header: bool = True) -> Iterator[str]:
+        """Render results as text lines (the daemon's wire form).
 
-        With ``header=True`` the same ``@HD``/``@SQ`` lines
-        :class:`~repro.genome.SamWriter` writes come first, so
-        concatenating the lines with newlines reproduces
-        :meth:`to_sam` output byte for byte.
+        With ``header=True`` the format's header lines come first, so
+        concatenating the lines with newlines reproduces :meth:`write`
+        output byte for byte — for every registered format.
         """
-        if header:
-            yield from sam_header_lines(self.reference)
-        yield from sam_record_lines(results)
+        fmt = self._resolve_format(format, results)
+        return fmt.lines(results, self.reference, header=header)
+
+    def to_sam(self, results: Iterable, path: PathLike) -> int:
+        """:meth:`write` pinned to the SAM format (historical name)."""
+        return self.write(results, path, format="sam")
+
+    def sam_lines(self, results: Iterable,
+                  header: bool = True) -> Iterator[str]:
+        """:meth:`lines` pinned to the SAM format (historical name)."""
+        return self.lines(results, format="sam", header=header)
+
+    # -- variant-calling post-stage ------------------------------------
+
+    def map_and_call(self, results: Iterable, out: PathLike,
+                     vcf_out: PathLike,
+                     format: Optional[str] = None) -> tuple:
+        """Write results to ``out`` AND call variants to ``vcf_out``.
+
+        One pass over the (possibly lazy) result stream: each result is
+        written in the named output format while its mapped records are
+        piled up; when the stream ends,
+        :func:`repro.variants.call_variants` runs over the pileup and
+        the calls are written as VCF.  Returns ``(record_lines,
+        variant_calls)``.
+        """
+        from ..variants import Pileup, call_variants, write_vcf
+
+        fmt = self._resolve_format(format, results)
+        pileup = Pileup(self.reference)
+        with fmt.open(out, self.reference) as writer:
+            try:
+                for result in results:
+                    writer.write_result(result)
+                    for record in result_records(result):
+                        if record.mapped and record.read_codes is not None:
+                            pileup.add_record(record)
+            finally:
+                close = getattr(results, "close", None)
+                if close is not None:
+                    close()
+            records = writer.count
+        calls = call_variants(pileup)
+        count = write_vcf(vcf_out, calls, reference=self.reference)
+        return records, count
 
     # -- statistics lifecycle ------------------------------------------
 
     @property
     def stats(self) -> PipelineStats:
-        """Counters accumulated over all completed runs since
-        construction or the last :meth:`reset_stats` (the in-progress
-        run, if any, is not included until it finishes)."""
-        return self._total
+        """GenPair counters accumulated over all completed ``genpair``
+        runs since construction or the last :meth:`reset_stats` (the
+        in-progress run, if any, is not included until it finishes).
+        Per-engine accumulators live in :meth:`engine_stats`."""
+        return self._totals.setdefault("genpair", PipelineStats())
+
+    def engine_stats(self) -> Dict[str, Dict[str, int]]:
+        """Cumulative counters per engine that has run, as plain
+        dictionaries keyed by engine name."""
+        return {name: stats_dict(total)
+                for name, total in sorted(self._totals.items())}
 
     def reset_stats(self) -> None:
         """Zero the cumulative counters (and :attr:`last_stats`)."""
-        self._total = PipelineStats()
+        self._totals = {name: engine.fresh_stats()
+                        for name, engine in self._engines.items()}
         self.last_stats = PipelineStats()
+        self.last_engine = None
 
     # -- lifecycle -----------------------------------------------------
 
     @property
     def uses_pool(self) -> bool:
-        """Will mapping runs go through a persistent worker pool?"""
-        return self._wants_pool()
-
-    def warm_up(self) -> "Mapper":
-        """Create the worker pool (if configured) before the first run.
-
-        Mapping calls do this lazily; the daemon calls it at startup
-        instead, so the fork happens while the process is still
-        single-threaded and the first request hits a warm pool.
-        """
-        self._assert_open()
-        self._ensure_executor()
-        return self
-
-    def _wants_pool(self) -> bool:
+        """Will ``genpair`` mapping runs go through a persistent worker
+        pool?  (The other engines always map in-process.)"""
         return (self.config.workers > 1 and self.config.batch_size > 0
                 and _fork_context() is not None)
 
-    def _ensure_executor(self) -> Optional[StreamExecutor]:
-        if self._executor is None and self._wants_pool():
-            self._executor = StreamExecutor(
-                self.pipeline, workers=self.config.workers,
-                chunk_size=self.config.batch_size,
-                inflight=self.config.inflight)
-        return self._executor
+    def warm_up(self, engine: Optional[str] = None) -> "Mapper":
+        """Build the named engine (default: the config's) before the
+        first run — including the GenPair worker pool, if configured.
+
+        Mapping calls do this lazily; the daemon calls it at startup
+        instead, so the pool fork happens while the process is still
+        single-threaded and the first request hits a warm engine.
+        """
+        self._assert_open()
+        self.engine(engine).warm_up()
+        if self.uses_pool:
+            # Whatever the default engine, a configured pool belongs to
+            # genpair: fork it now, pre-threads, so a later per-request
+            # engine switch doesn't fork inside a threaded daemon.
+            self.engine("genpair").warm_up()
+        return self
 
     def _assert_open(self) -> None:
         if self._closed:
             raise RuntimeError("Mapper is closed")
 
     def close(self) -> None:
-        """Shut the worker pool down and mark the mapper closed.
+        """Shut every engine (and the worker pool) down and mark the
+        mapper closed.
 
         Idempotent.  The memory-mapped index views stay valid for
         already-returned results; no further mapping calls are
@@ -327,12 +405,8 @@ class Mapper:
         if self._closed:
             return
         self._closed = True
-        if self._executor is not None:
-            executor, self._executor = self._executor, None
-            # close() folds any residual worker stats into the
-            # pipeline's current counters; nothing is lost, and the
-            # accumulator keeps them via the last completed run.
-            executor.close()
+        for engine in self._engines.values():
+            engine.close()
 
     def __enter__(self) -> "Mapper":
         return self

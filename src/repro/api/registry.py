@@ -1,10 +1,23 @@
-"""Named stage registries: declarative filter-chain and aligner choice.
+"""Named registries: declarative engine, stage, and output choice.
 
-Instead of callers composing filter and aligner classes by hand, a
-:class:`~repro.api.MappingConfig` names its stages —
-``filter_chain="shd"``, ``aligner="light"`` — and
-:class:`~repro.api.Mapper` resolves the names here when it builds the
-pipeline.  Two registries exist:
+Instead of callers composing mapper and stage classes by hand, a
+:class:`~repro.api.MappingConfig` names what it wants —
+``engine="mm2"``, ``filter_chain="shd"``, ``aligner="light"``,
+``output_format="paf"`` — and :class:`~repro.api.Mapper` resolves the
+names here when it builds the workload.  Four registries exist:
+
+* :data:`ENGINES` — the mapping engines behind the polymorphic facade:
+  ``genpair`` (the paper's paired-end pipeline, the default), ``mm2``
+  (the minimizer seed-chain-align baseline with paired-end support),
+  and ``longread`` (pseudo-pair Location Voting over single long
+  reads).  Factories take the :class:`~repro.api.Mapper` facade and
+  return an :class:`~repro.api.engines.Engine` adapter sharing the
+  facade's reference/SeedMap;
+* :data:`OUTPUT_FORMATS` — the output writers every engine's results
+  flow through: ``sam`` (default), ``paf``, and ``jsonl``.  Each
+  :class:`OutputFormat` bundles header/record line renderers with a
+  file writer built on the *same* renderers, so daemon wire output is
+  byte-identical to file output by construction;
 
 * :data:`FILTER_CHAINS` — pre-alignment candidate screens
   (:class:`~repro.filters.stages.FilterChain` instances): ``none``
@@ -155,3 +168,120 @@ def _aligner_banded_dp(config) -> BandedDpAligner:
     return BandedDpAligner(scheme=DEFAULT_SCHEME,
                            threshold=config.score_threshold,
                            bandwidth=config.fallback_bandwidth)
+
+
+# -- engines ----------------------------------------------------------------
+
+#: Mapping engines, selected by ``engine``.  Factories take the
+#: :class:`~repro.api.Mapper` facade (reference, SeedMap, config) and
+#: return an engine adapter; the engine classes import lazily so the
+#: registry stays cheap to import.
+ENGINES = StageRegistry("engine")
+
+
+@ENGINES.register("genpair")
+def _engine_genpair(facade):
+    from .engines import GenPairEngine
+
+    return GenPairEngine(facade)
+
+
+@ENGINES.register("mm2")
+def _engine_mm2(facade):
+    from .engines import Mm2Engine
+
+    return Mm2Engine(facade)
+
+
+@ENGINES.register("longread")
+def _engine_longread(facade):
+    from .engines import LongReadEngine
+
+    return LongReadEngine(facade)
+
+
+# -- output formats ---------------------------------------------------------
+
+
+class OutputFormat:
+    """One named output format: line renderers plus a file writer.
+
+    ``header_lines``/``record_lines`` are the wire form the daemon
+    streams; :meth:`open` returns an incremental file writer built on
+    the *same* renderers, so a file reassembled from wire lines is
+    byte-identical to one written directly.
+    """
+
+    def __init__(self, name: str, suffix: str, header, records,
+                 writer) -> None:
+        self.name = name
+        self.suffix = suffix
+        self._header = header
+        self._records = records
+        self._writer = writer
+
+    def header_lines(self, reference=None):
+        """Lines written once, before any record (may be empty)."""
+        return list(self._header(reference))
+
+    def record_lines(self, results, reference=None):
+        """Lazy record lines for a result stream."""
+        return self._records(results, reference)
+
+    def lines(self, results, reference=None, header: bool = True):
+        """Wire form: optional header lines, then record lines."""
+        if header:
+            yield from self.header_lines(reference)
+        yield from self.record_lines(results, reference)
+
+    def open(self, path, reference=None):
+        """An incremental writer (context manager with ``count``/
+        ``write_result``/``drain``) for ``path``."""
+        return self._writer(path, reference)
+
+
+#: Output formats, selected by ``output_format``.
+OUTPUT_FORMATS = StageRegistry("output format")
+
+
+def output_format(name: str) -> OutputFormat:
+    """The :class:`OutputFormat` registered under ``name`` (unknown
+    names raise :class:`RegistryError` listing the available ones)."""
+    return OUTPUT_FORMATS.create(name, None)
+
+
+@OUTPUT_FORMATS.register("sam")
+def _format_sam(config=None) -> OutputFormat:
+    from ..genome.sam import SamWriter, sam_header_lines, sam_record_lines
+
+    return OutputFormat(
+        "sam", ".sam",
+        header=sam_header_lines,
+        records=lambda results, reference: sam_record_lines(results),
+        writer=lambda path, reference: SamWriter(path,
+                                                 reference=reference))
+
+
+@OUTPUT_FORMATS.register("paf")
+def _format_paf(config=None) -> OutputFormat:
+    from ..genome.paf import PafWriter, paf_header_lines, paf_record_lines
+
+    return OutputFormat(
+        "paf", ".paf",
+        header=paf_header_lines,
+        records=paf_record_lines,
+        writer=lambda path, reference: PafWriter(path,
+                                                 reference=reference))
+
+
+@OUTPUT_FORMATS.register("jsonl")
+def _format_jsonl(config=None) -> OutputFormat:
+    from ..genome.jsonl import (JsonlWriter, jsonl_header_lines,
+                                jsonl_record_lines)
+
+    return OutputFormat(
+        "jsonl", ".jsonl",
+        header=jsonl_header_lines,
+        records=jsonl_record_lines,
+        writer=lambda path, reference: JsonlWriter(path,
+                                                   reference=reference))

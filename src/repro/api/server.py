@@ -13,21 +13,31 @@ requests.  Operations:
 
 ``ping``
     Liveness probe.  Response carries ``pid``, ``uptime_s``, the index
-    path, and the config snapshot.
+    path, the config snapshot, and the registered engines/formats.
 ``map``
-    Map pairs shipped inline: ``{"op": "map", "pairs": [[read1, read2,
-    name?], ...]}`` with reads as ACGT strings.  Responds with
-    ``{"sam": [...]}`` — SAM record lines (plus header lines first
-    when ``"header": true``) — and per-request ``stats``/``elapsed_s``.
+    Map workload items shipped inline.  Paired engines:
+    ``{"op": "map", "pairs": [[read1, read2, name?], ...]}``;
+    the single-read ``longread`` engine: ``{"op": "map", "engine":
+    "longread", "reads": [[read, name?], ...]}`` — reads as ACGT
+    strings either way.  Optional ``"engine"`` and ``"format"`` keys
+    select any registered engine/output format **per request** against
+    the one warm facade (engine instances are built lazily and
+    reused).  Responds with ``{"lines": [...]}`` — record lines in the
+    requested format (plus header lines first when ``"header": true``;
+    ``"sam"`` is kept as an alias when the format is SAM) — and
+    per-request ``stats``/``elapsed_s``.
 ``map_file``
-    Map server-side FASTQ paths and write a SAM file server-side:
-    ``{"op": "map_file", "reads1": ..., "reads2": ..., "out": ...}``.
-    The heavy-duty path: no reads cross the socket, and the output is
-    byte-identical to an offline ``repro map`` with the same config
-    (asserted in the test suite and the CI smoke job).
+    Map server-side FASTQ paths and write an output file server-side:
+    ``{"op": "map_file", "reads1": ..., "reads2": ..., "out": ...}``
+    (``reads2`` omitted for single-read engines), plus the same
+    optional ``"engine"``/``"format"`` keys.  The heavy-duty path: no
+    reads cross the socket, and the output is byte-identical to an
+    offline ``repro map`` with the same config (asserted in the test
+    suite and the CI smoke job).
 ``stats``
-    Cumulative mapper counters plus server totals (requests served,
-    pairs mapped, per-op counts, errors).
+    Cumulative mapper counters (GenPair-compatible ``mapper`` plus
+    per-engine ``engines``) and server totals (requests served, pairs
+    mapped, per-op counts, errors).
 ``shutdown``
     Acknowledge, then stop the accept loop and tear the mapper down.
 
@@ -49,6 +59,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from ..genome.sequence import encode
+from .engines import stats_dict
 from .mapper import Mapper
 
 PathLike = Union[str, Path]
@@ -88,12 +99,18 @@ class ServerStats:
                 "by_op": dict(self.by_op)}
 
 
-def _stats_dict(stats) -> Dict[str, int]:
-    """A PipelineStats as plain JSON types."""
-    import dataclasses
+# Any engine's stats dataclass as plain JSON types (one definition,
+# shared with Mapper.engine_stats).
+_stats_dict = stats_dict
 
-    return {name: int(value)
-            for name, value in dataclasses.asdict(stats).items()}
+
+def _units(stats: Dict[str, int]) -> int:
+    """How many workload items a per-run stats dict accounts for
+    (pairs for the paired engines, reads for single-read ones)."""
+    for key in ("pairs_total", "pairs_seen", "reads_total"):
+        if key in stats:
+            return stats[key]
+    return 0
 
 
 class MapServer:
@@ -283,25 +300,56 @@ class MapServer:
     # -- operations ----------------------------------------------------
 
     def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        from .registry import ENGINES, OUTPUT_FORMATS
+
         self.stats.record("ping")
         index = self.mapper.index
         return {"pid": os.getpid(),
                 "uptime_s": round(self.stats.uptime_s, 3),
                 "index": index.path if index is not None else None,
                 "workers": self.mapper.config.workers,
+                "engine": self.mapper.config.engine,
+                "engines": list(ENGINES.names()),
+                "formats": list(OUTPUT_FORMATS.names()),
                 "config": self.mapper.config.to_dict()}
 
     def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self.stats.record("stats")
         return {"server": self.stats.to_dict(),
-                "mapper": _stats_dict(self.mapper.stats)}
+                "mapper": _stats_dict(self.mapper.stats),
+                "engines": self.mapper.engine_stats()}
 
     def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self.stats.record("shutdown")
         return {"goodbye": True}
 
-    def _op_map(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        pairs = request.get("pairs")
+    @staticmethod
+    def _workload(request: Dict[str, Any]) -> tuple:
+        """The per-request engine/format overrides, validated as names.
+
+        ``None`` means "the facade's configured default" — the one
+        warm facade resolves names to (lazily-built, reused) engine
+        instances itself.  Both names are checked against their
+        registries *here*, before any mapping work, so a typo'd
+        ``format`` fails in microseconds instead of after the whole
+        request has been mapped.
+        """
+        from .registry import ENGINES, OUTPUT_FORMATS
+
+        engine = request.get("engine")
+        if engine is not None and not isinstance(engine, str):
+            raise ValueError('"engine" must be an engine name string')
+        fmt = request.get("format")
+        if fmt is not None and not isinstance(fmt, str):
+            raise ValueError('"format" must be a format name string')
+        if engine is not None:
+            ENGINES.require(engine)
+        if fmt is not None:
+            OUTPUT_FORMATS.require(fmt)
+        return engine, fmt
+
+    @staticmethod
+    def _decode_pairs(pairs) -> list:
         if not isinstance(pairs, list):
             raise ValueError('"pairs" must be a list of '
                              '[read1, read2, name?] entries')
@@ -318,26 +366,85 @@ class MapServer:
                 name = entry[2] if len(entry) > 2 else f"pair{number}"
             decoded.append((encode(read1, allow_n=True),
                             encode(read2, allow_n=True), str(name)))
+        return decoded
+
+    @staticmethod
+    def _decode_reads(reads) -> list:
+        if not isinstance(reads, list):
+            raise ValueError('"reads" must be a list of [read, name?] '
+                             "entries")
+        decoded = []
+        for number, entry in enumerate(reads):
+            if isinstance(entry, dict):
+                read = entry["read"]
+                name = entry.get("name", f"read{number}")
+            elif isinstance(entry, str):
+                read, name = entry, f"read{number}"
+            else:
+                if len(entry) not in (1, 2):
+                    raise ValueError(f"read {number}: expected "
+                                     "[read, name?]")
+                read = entry[0]
+                name = entry[1] if len(entry) > 1 else f"read{number}"
+            decoded.append((encode(read, allow_n=True), str(name)))
+        return decoded
+
+    def _op_map(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        from .engines import INPUT_SINGLE
+
+        engine_name, fmt = self._workload(request)
         with self._map_lock:
-            results = self.mapper.map(decoded)
-            lines = list(self.mapper.sam_lines(
-                results, header=bool(request.get("header", False))))
+            engine = self.mapper.engine(engine_name)
+            if engine.input_kind == INPUT_SINGLE:
+                if "pairs" in request:
+                    raise ValueError(
+                        f'engine {engine.name!r} maps single reads; '
+                        'send "reads", not "pairs"')
+                decoded = self._decode_reads(request.get("reads"))
+            else:
+                if "reads" in request:
+                    raise ValueError(
+                        f'engine {engine.name!r} maps read pairs; '
+                        'send "pairs", not "reads"')
+                decoded = self._decode_pairs(request.get("pairs"))
+            results = self.mapper.map(decoded, engine=engine.name)
+            lines = list(self.mapper.lines(
+                results, format=fmt,
+                header=bool(request.get("header", False))))
             stats = _stats_dict(self.mapper.last_stats)
         self.stats.record("map", pairs=len(decoded))
-        return {"pairs": len(decoded), "sam": lines, "stats": stats}
+        format_name = fmt if fmt is not None \
+            else self.mapper.config.output_format
+        response = {"pairs": len(decoded), "lines": lines,
+                    "engine": engine.name, "format": format_name,
+                    "stats": stats}
+        if format_name == "sam":
+            response["sam"] = lines  # historical alias
+        return response
 
     def _op_map_file(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        for key in ("reads1", "reads2", "out"):
+        engine_name, fmt = self._workload(request)
+        for key in ("reads1", "out"):
             if not isinstance(request.get(key), str):
                 raise ValueError(f'"{key}" must be a path string')
+        reads2 = request.get("reads2")
+        if reads2 is not None and not isinstance(reads2, str):
+            raise ValueError('"reads2" must be a path string (omit it '
+                             "for single-read engines)")
         with self._map_lock:
-            results = self.mapper.map_file(request["reads1"],
-                                           request["reads2"])
-            records = self.mapper.to_sam(results, request["out"])
+            engine = self.mapper.engine(engine_name)
+            results = self.mapper.map_file(request["reads1"], reads2,
+                                           engine=engine.name)
+            records = self.mapper.write(results, request["out"],
+                                        format=fmt)
             stats = _stats_dict(self.mapper.last_stats)
-        self.stats.record("map_file", pairs=stats["pairs_total"])
-        return {"pairs": stats["pairs_total"], "records": records,
-                "out": request["out"], "stats": stats}
+        units = _units(stats)
+        self.stats.record("map_file", pairs=units)
+        return {"pairs": units, "records": records,
+                "out": request["out"], "engine": engine.name,
+                "format": fmt if fmt is not None
+                else self.mapper.config.output_format,
+                "stats": stats}
 
 
 def serve(mapper: Mapper, socket_path: PathLike,

@@ -7,13 +7,19 @@ Subcommands mirror a real read-mapping toolchain:
 * ``index build``   — precompute the SeedMap + encoded reference into a
   persistent memory-mapped index file (the ``bowtie2-build`` split);
 * ``index inspect`` — print an index's fingerprint, tables, checksums;
-* ``map``           — map paired FASTQ files through the
-  :class:`repro.api.Mapper` facade and write SAM; reads stream through
-  in O(batch) memory, the batched engine is on by default
-  (``--batch-size``), ``--workers N`` streams the chunks through a
-  persistent pool of forked worker processes, ``--index`` serves from
-  a prebuilt index, and ``--filter-chain``/``--aligner`` select
-  registry stages declaratively;
+* ``map``           — map FASTQ files through the engine-polymorphic
+  :class:`repro.api.Mapper` facade and write SAM/PAF/JSONL;
+  ``--engine`` selects the mapping engine (``genpair`` paired-end
+  default, ``mm2`` baseline, ``longread`` single-read), ``--format``
+  the output writer, ``--call-variants out.vcf`` chains variant
+  calling as a post-stage; reads stream through in O(batch) memory,
+  the batched engine is on by default (``--batch-size``),
+  ``--workers N`` streams genpair chunks through a persistent pool of
+  forked worker processes, ``--index`` serves from a prebuilt index,
+  and ``--filter-chain``/``--aligner`` select registry stages
+  declaratively;
+* ``map-long``      — single-read long-read shim: ``map`` pinned to
+  ``--engine longread`` with one ``--reads`` FASTQ;
 * ``serve``         — run the long-lived mapping daemon: the index and
   the worker pool stay warm, and mapping requests arrive as
   newline-delimited JSON over a UNIX socket;
@@ -117,6 +123,11 @@ def _build_mapper(args: argparse.Namespace):
         print(f"error: {args.command} needs exactly one of "
               "--reference or --index", file=sys.stderr)
         return None, 2
+    engine = getattr(args, "engine", "genpair")
+    if engine != "genpair" and args.workers > 1:
+        print(f"note: the worker pool serves the genpair engine; "
+              f"--engine {engine} maps in-process (the pool still "
+              "serves genpair requests of a daemon)", file=sys.stderr)
     if args.batch_size > 0 and args.workers > 1:
         cpus = _available_cpus()
         if args.workers > cpus:
@@ -132,7 +143,9 @@ def _build_mapper(args: argparse.Namespace):
                      workers=args.workers,
                      full_fallback=not args.no_fallback,
                      filter_chain=args.filter_chain,
-                     aligner=args.aligner)
+                     aligner=args.aligner,
+                     engine=engine,
+                     output_format=getattr(args, "format", "sam"))
     # The fingerprint gate: an explicit --filter-threshold must match
     # what an index was built with (from_fingerprint rejects a
     # conflict); against FASTA it configures the in-process build.
@@ -164,28 +177,106 @@ def _print_map_report(stats, count: int, out: str) -> None:
           f" | unmapped {stats.unmapped}")
 
 
+def _print_engine_report(engine: str, stats, count: int,
+                         out: str) -> None:
+    """Per-engine run summary; ``stats`` may be the engine's dataclass
+    or the daemon's plain-dict form of it."""
+    if isinstance(stats, dict):
+        get = stats.get
+    else:
+        def get(name, default=0):
+            return getattr(stats, name, default)
+    if engine == "mm2":
+        print(f"mapped {get('pairs_seen')} pairs -> {count} records "
+              f"({out})")
+        print(f"  proper pairs {get('pairs_proper')} | mate rescues "
+              f"{get('mate_rescues')} | reads mapped "
+              f"{get('reads_mapped')}")
+    elif engine == "longread":
+        print(f"mapped {get('reads_total')} long reads -> {count} "
+              f"records ({out})")
+        print(f"  placed {get('mapped')} | pseudo-pairs "
+              f"{get('pseudo_pairs')} | DP cells {get('dp_cells'):,}")
+    else:  # genpair
+        if isinstance(stats, dict):
+            from .core import PipelineStats
+
+            stats = PipelineStats(**stats)
+        _print_map_report(stats, count, out)
+
+
+def _map_input(args: argparse.Namespace):
+    """The FASTQ paths ``map`` should feed its engine, validated for
+    the engine's input arity; ``(reads1, reads2)`` or ``None`` with the
+    error already printed."""
+    single = getattr(args, "reads", None)
+    engine = getattr(args, "engine", "genpair")
+    if engine == "longread":
+        if single is None:
+            print("error: --engine longread maps a single FASTQ; "
+                  "pass --reads (not --reads1/--reads2)",
+                  file=sys.stderr)
+            return None
+        if args.reads1 is not None or args.reads2 is not None:
+            print("error: --reads and --reads1/--reads2 are mutually "
+                  "exclusive", file=sys.stderr)
+            return None
+        return single, None
+    if single is not None:
+        print(f"error: --reads is for single-read engines; --engine "
+              f"{engine} needs --reads1 and --reads2", file=sys.stderr)
+        return None
+    if args.reads1 is None or args.reads2 is None:
+        print(f"error: --engine {engine} needs both --reads1 and "
+              "--reads2", file=sys.stderr)
+        return None
+    return args.reads1, args.reads2
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
+    from .api import MappingConfigError, RegistryError
     from .genome import FastaError
 
+    paths = _map_input(args)
+    if paths is None:
+        return 2
+    if args.out is None:
+        args.out = f"out.{args.format}"
     mapper, code = _build_mapper(args)
     if mapper is None:
         return code
     with mapper:
         try:
-            count = mapper.to_sam(mapper.map_file(args.reads1,
-                                                  args.reads2),
-                                  args.out)
-        except FastaError as exc:
+            results = mapper.map_file(paths[0], paths[1])
+            if args.call_variants:
+                count, calls = mapper.map_and_call(
+                    results, args.out, args.call_variants)
+            else:
+                count = mapper.write(results, args.out)
+        except (FastaError, MappingConfigError, RegistryError) as exc:
+            # Engines build lazily inside map_file, so engine-specific
+            # config errors (e.g. longread chunk_length vs the index's
+            # seed_length) surface here, not in _build_mapper.
             print(f"error: {exc}", file=sys.stderr)
             return 1
         except KeyboardInterrupt:
             teardown = ("worker pool torn down, " if mapper.uses_pool
                         else "")
-            print(f"\ninterrupted: {teardown}partial SAM left at "
+            print(f"\ninterrupted: {teardown}partial output left at "
                   f"{args.out}", file=sys.stderr)
             return 130
-        _print_map_report(mapper.last_stats, count, args.out)
+        _print_engine_report(args.engine, mapper.last_stats, count,
+                             args.out)
+        if args.call_variants:
+            print(f"  called {calls} variants ({args.call_variants})")
     return 0
+
+
+def _cmd_map_long(args: argparse.Namespace) -> int:
+    """``map-long``: the ``map`` flow pinned to the longread engine."""
+    args.engine = "longread"
+    args.reads1 = args.reads2 = None
+    return _cmd_map(args)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -221,14 +312,20 @@ def _cmd_client(args: argparse.Namespace) -> int:
     import json
 
     from .api import Client, ClientError
-    from .core import PipelineStats
 
+    single = args.engine == "longread"
     if args.action == "map":
-        for flag in ("reads1", "reads2"):
-            if getattr(args, flag) is None:
-                print(f"error: client map needs --{flag}",
-                      file=sys.stderr)
-                return 2
+        if args.reads1 is None:
+            print("error: client map needs --reads1", file=sys.stderr)
+            return 2
+        if single and args.reads2 is not None:
+            print("error: --engine longread maps a single FASTQ; "
+                  "pass --reads1 alone", file=sys.stderr)
+            return 2
+        if not single and args.reads2 is None:
+            print("error: client map needs --reads2 (paired engines)",
+                  file=sys.stderr)
+            return 2
     try:
         with Client(args.socket, timeout=args.timeout) as client:
             if args.action == "ping":
@@ -236,7 +333,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 print(f"daemon alive: pid {reply['pid']}, up "
                       f"{reply['uptime_s']}s, index "
                       f"{reply['index'] or '(in-memory reference)'}, "
-                      f"workers={reply['workers']}")
+                      f"workers={reply['workers']}, engines "
+                      f"{','.join(reply.get('engines', []))}")
             elif args.action == "stats":
                 print(json.dumps(client.stats(), indent=2,
                                  sort_keys=True))
@@ -244,11 +342,15 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 client.shutdown()
                 print("daemon shut down")
             else:  # map
+                out = args.out
+                if out is None:
+                    out = f"out.{args.format or 'sam'}"
                 reply = client.map_file(args.reads1, args.reads2,
-                                        args.out)
-                stats = PipelineStats(**reply["stats"])
-                _print_map_report(stats, reply["records"],
-                                  reply["out"])
+                                        out, engine=args.engine,
+                                        format=args.format)
+                _print_engine_report(reply.get("engine", "genpair"),
+                                     reply["stats"],
+                                     reply["records"], reply["out"])
                 print(f"  daemon-side elapsed {reply['elapsed_s']}s")
     except ClientError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -391,8 +493,22 @@ def _cmd_design(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_mapper_args(parser: argparse.ArgumentParser) -> None:
-    """The flags ``map`` and ``serve`` share (they build one Mapper)."""
+def _add_mapper_args(parser: argparse.ArgumentParser,
+                     engine_flag: bool = True) -> None:
+    """The flags ``map``/``map-long``/``serve`` share (they build one
+    Mapper); ``map-long`` pins the engine, so it skips ``--engine``."""
+    if engine_flag:
+        parser.add_argument("--engine",
+                            choices=("genpair", "mm2", "longread"),
+                            default="genpair",
+                            help="mapping engine: the paper's paired-"
+                                 "end pipeline (default), the mm2-like "
+                                 "baseline, or single-read long-read "
+                                 "voting")
+    parser.add_argument("--format", choices=("sam", "paf", "jsonl"),
+                        default="sam",
+                        help="output format (every engine writes "
+                             "every format)")
     parser.add_argument("--reference",
                         help="FASTA reference (SeedMap is rebuilt per "
                              "run; use --index to skip that)")
@@ -484,12 +600,34 @@ def build_parser() -> argparse.ArgumentParser:
                                help="skip array checksum verification")
     index_inspect.set_defaults(func=_cmd_index_inspect)
 
-    map_cmd = sub.add_parser("map", help="map paired FASTQ to SAM")
+    map_cmd = sub.add_parser(
+        "map", help="map FASTQ to SAM/PAF/JSONL (any engine)")
     _add_mapper_args(map_cmd)
-    map_cmd.add_argument("--reads1", required=True)
-    map_cmd.add_argument("--reads2", required=True)
-    map_cmd.add_argument("--out", default="out.sam")
+    map_cmd.add_argument("--reads1", help="R1 FASTQ (paired engines)")
+    map_cmd.add_argument("--reads2", help="R2 FASTQ (paired engines)")
+    map_cmd.add_argument("--reads",
+                         help="single FASTQ (single-read engines, "
+                              "i.e. --engine longread)")
+    map_cmd.add_argument("--out", default=None,
+                         help="output path (default: out.<format>)")
+    map_cmd.add_argument("--call-variants", metavar="VCF", default=None,
+                         help="also pile up the mapped records and "
+                              "call variants to this VCF path "
+                              "(one pass over the stream)")
     map_cmd.set_defaults(func=_cmd_map)
+
+    maplong_cmd = sub.add_parser(
+        "map-long", help="map single-read long-read FASTQ "
+                         "(the --engine longread shim)")
+    _add_mapper_args(maplong_cmd, engine_flag=False)
+    maplong_cmd.add_argument("--reads", required=True,
+                             help="single-read FASTQ")
+    maplong_cmd.add_argument("--out", default=None,
+                             help="output path (default: out.<format>)")
+    maplong_cmd.add_argument("--call-variants", metavar="VCF",
+                             default=None,
+                             help="also call variants to this VCF path")
+    maplong_cmd.set_defaults(func=_cmd_map_long)
 
     serve_cmd = sub.add_parser(
         "serve", help="run the persistent mapping daemon: warm index "
@@ -510,11 +648,22 @@ def build_parser() -> argparse.ArgumentParser:
     client_cmd.add_argument("--timeout", type=float, default=None,
                             help="socket timeout in seconds (default: "
                                  "wait as long as the mapping takes)")
-    client_cmd.add_argument("--reads1", help="client map: R1 FASTQ")
+    client_cmd.add_argument("--reads1",
+                            help="client map: R1 FASTQ (or the single "
+                                 "FASTQ for --engine longread)")
     client_cmd.add_argument("--reads2", help="client map: R2 FASTQ")
-    client_cmd.add_argument("--out", default="out.sam",
-                            help="client map: output SAM path "
-                                 "(written by the daemon process)")
+    client_cmd.add_argument("--engine", default=None,
+                            choices=("genpair", "mm2", "longread"),
+                            help="client map: per-request engine "
+                                 "(default: the daemon's)")
+    client_cmd.add_argument("--format", default=None,
+                            choices=("sam", "paf", "jsonl"),
+                            help="client map: per-request output "
+                                 "format (default: the daemon's)")
+    client_cmd.add_argument("--out", default=None,
+                            help="client map: output path (written by "
+                                 "the daemon process; default: "
+                                 "out.<format>)")
     client_cmd.set_defaults(func=_cmd_client)
 
     call = sub.add_parser("call", help="call variants from a SAM file")

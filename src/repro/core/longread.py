@@ -40,6 +40,9 @@ class LongReadConfig:
     vote_bin: int = 64
     #: How many top-voted locations get a DP alignment attempt.
     max_votes_tried: int = 3
+    #: Vote threshold: bins with fewer votes than this never get a DP
+    #: attempt (1 keeps the historical behaviour of trying any bin).
+    min_votes: int = 1
     dp_bandwidth: int = 96
 
 
@@ -89,6 +92,16 @@ class LongReadMapper:
                                score=alignment.score, read_codes=codes,
                                mapped=True, method=METHOD_DP)
 
+    def map_reads(self, reads: List[Tuple[np.ndarray, str]]
+                  ) -> List[AlignmentRecord]:
+        """Map a chunk of ``(codes, name)`` long reads in input order.
+
+        The batched entry point the engine-polymorphic API streams
+        chunks through; statistics accumulate in :attr:`stats` exactly
+        as repeated :meth:`map_read` calls would.
+        """
+        return [self.map_read(codes, name) for codes, name in reads]
+
     # -- internals ----------------------------------------------------------
 
     def _chunks(self, codes: np.ndarray) -> List[Tuple[int, np.ndarray]]:
@@ -121,7 +134,9 @@ class LongReadMapper:
     def _align_top_votes(self, codes: np.ndarray, votes: Counter):
         config = self.config
         best = None
-        for bin_index, _count in votes.most_common(config.max_votes_tried):
+        for bin_index, count in votes.most_common(config.max_votes_tried):
+            if count < config.min_votes:
+                break  # most_common is descending; the rest are lower
             start_linear = bin_index * config.vote_bin
             hit = self._dp_at(codes, start_linear)
             if hit is None:

@@ -7,11 +7,16 @@ alignment records.
 """
 
 from .cigar import Cigar, CigarError
-from .io_fasta import (DEFAULT_PAIR_CHUNK, FastaError, iter_pairs,
-                       iter_pairs_chunked, read_ahead, read_fasta,
-                       read_fastq, read_pairs, write_fasta, write_fastq)
+from .io_fasta import (DEFAULT_PAIR_CHUNK, DEFAULT_READ_CHUNK,
+                       FastaError, iter_pairs, iter_pairs_chunked,
+                       iter_reads, iter_reads_chunked, read_ahead,
+                       read_fasta, read_fastq, read_pairs, write_fasta,
+                       write_fastq)
+from .jsonl import JsonlWriter, jsonl_header_lines, jsonl_record_lines
+from .paf import PafWriter, paf_header_lines, paf_line, paf_record_lines
 from .reference import (ReferenceError, ReferenceGenome, RepeatProfile,
                         generate_reference)
+from .results import MappingResult, ResultLineWriter, result_records
 from .sam import (METHOD_DP, METHOD_EXACT, METHOD_LIGHT, AlignmentRecord,
                   SamWriter, sam_header_lines, sam_record_lines,
                   write_sam)
@@ -25,15 +30,19 @@ from .variants import DiploidDonor, Haplotype, Variant, plant_variants
 
 __all__ = [
     "ALPHABET_SIZE", "AlignmentRecord", "Cigar", "CigarError",
-    "DEFAULT_PAIR_CHUNK", "DiploidDonor", "ErrorModel", "FastaError",
-    "Haplotype", "METHOD_DP", "METHOD_EXACT", "METHOD_LIGHT",
+    "DEFAULT_PAIR_CHUNK", "DEFAULT_READ_CHUNK", "DiploidDonor",
+    "ErrorModel", "FastaError", "Haplotype", "JsonlWriter", "METHOD_DP",
+    "METHOD_EXACT", "METHOD_LIGHT", "MappingResult", "PafWriter",
     "PairedEndProfile", "ReadSimulator", "ReferenceError",
-    "ReferenceGenome", "RepeatProfile", "SamWriter", "SequenceError",
-    "SimulatedPair", "SimulatedRead", "SimulationError", "Variant",
-    "decode", "encode", "generate_reference", "hamming_distance",
-    "iter_pairs", "iter_pairs_chunked", "kmer_to_int", "kmers",
-    "pack_2bit", "plant_variants", "random_sequence", "read_ahead",
-    "read_fasta", "read_fastq", "read_pairs", "reverse_complement",
-    "reverse_complement_str", "sam_header_lines", "sam_record_lines",
-    "unpack_2bit", "write_fasta", "write_fastq", "write_sam",
+    "ReferenceGenome", "RepeatProfile", "ResultLineWriter", "SamWriter",
+    "SequenceError", "SimulatedPair", "SimulatedRead", "SimulationError",
+    "Variant", "decode", "encode", "generate_reference",
+    "hamming_distance", "iter_pairs", "iter_pairs_chunked", "iter_reads",
+    "iter_reads_chunked", "jsonl_header_lines", "jsonl_record_lines",
+    "kmer_to_int", "kmers", "pack_2bit", "paf_header_lines", "paf_line",
+    "paf_record_lines", "plant_variants", "random_sequence", "read_ahead",
+    "read_fasta", "read_fastq", "read_pairs", "result_records",
+    "reverse_complement", "reverse_complement_str", "sam_header_lines",
+    "sam_record_lines", "unpack_2bit", "write_fasta", "write_fastq",
+    "write_sam",
 ]

@@ -9,7 +9,10 @@ Paired input goes through :func:`iter_pairs_chunked` (or its flat wrapper
 :func:`iter_pairs`): the two FASTQ files are walked in lockstep in
 O(chunk) memory, R1/R2 record names are checked for agreement, and a
 truncated or unequal pair of files raises :class:`FastaError` instead of
-silently dropping the tail the way ``zip`` would.
+silently dropping the tail the way ``zip`` would.  Single-read input
+(long-read workloads) goes through :func:`iter_reads_chunked` /
+:func:`iter_reads` with the same strictness: truncated four-line
+records and mismatched ``+`` separator lines raise loudly.
 
 :func:`read_ahead` overlaps parsing with downstream work: it drives any
 iterator from a background thread through a bounded buffer, so the
@@ -105,6 +108,90 @@ def read_fastq(path: PathLike) -> Iterator[Tuple[str, np.ndarray]]:
             if len(qual) != len(seq):
                 raise FastaError("quality length differs from sequence")
             yield header[1:].split()[0], encode(seq, allow_n=True)
+
+
+#: Default reads per chunk of :func:`iter_reads_chunked` — long reads
+#: are ~30x bigger than short-read pairs, so chunks are smaller than
+#: :data:`DEFAULT_PAIR_CHUNK` while still amortizing parsing.
+DEFAULT_READ_CHUNK = 512
+
+
+def iter_reads_chunked(reads: PathLike,
+                       chunk_size: OptionalChunk = DEFAULT_READ_CHUNK
+                       ) -> Iterator[List[Tuple[np.ndarray, str]]]:
+    """Stream a single-read FASTQ as chunks of ``(codes, name)``.
+
+    The single-read counterpart of :func:`iter_pairs_chunked` (long-read
+    and other unpaired workloads): chunks hold at most ``chunk_size``
+    reads (``None`` selects :data:`DEFAULT_READ_CHUNK`), so memory stays
+    O(chunk) on arbitrarily large inputs.  Validation is strict and
+    loud, mirroring the paired path's tail check:
+
+    * a record whose file ends before all four lines are present raises
+      :class:`FastaError` naming the record and how many lines arrived
+      (a truncated download is never silently dropped);
+    * a ``+`` separator line that repeats a *different* name than the
+      record's header raises (the file was spliced from mismatched
+      records);
+    * quality/sequence length disagreement raises.
+    """
+    if chunk_size is None:
+        chunk_size = DEFAULT_READ_CHUNK
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    chunk: List[Tuple[np.ndarray, str]] = []
+    ordinal = 0
+    with open(reads) as handle:
+        while True:
+            lines = [handle.readline() for _ in range(4)]
+            header = lines[0].strip()
+            if not lines[0] or (not header
+                                and not any(line.strip()
+                                            for line in lines[1:])):
+                break  # clean end of file (possibly trailing blanks)
+            present = sum(1 for line in lines if line)
+            if present < 4:
+                raise FastaError(
+                    f"truncated FASTQ record {ordinal + 1} in {reads}: "
+                    f"file ended after {present} of its 4 lines; the "
+                    "record is incomplete (truncated download?)")
+            if not header.startswith("@") or len(header) < 2:
+                raise FastaError(
+                    f"bad FASTQ header at record {ordinal + 1} in "
+                    f"{reads}: {header!r}")
+            name = header[1:].split()[0]
+            seq = lines[1].strip()
+            plus = lines[2].strip()
+            qual = lines[3].strip()
+            if not plus.startswith("+"):
+                raise FastaError(
+                    f"FASTQ record {ordinal + 1} ({name!r}) in {reads}: "
+                    f"expected a '+' separator line, got {plus!r}")
+            if len(plus) > 1 and plus[1:] not in (name, header[1:]):
+                raise FastaError(
+                    f"FASTQ record {ordinal + 1} in {reads}: '+' "
+                    f"separator names {plus[1:]!r} but the header names "
+                    f"{name!r}; the file interleaves mismatched records")
+            if len(qual) != len(seq):
+                raise FastaError(
+                    f"FASTQ record {ordinal + 1} ({name!r}) in {reads}: "
+                    f"quality length {len(qual)} differs from sequence "
+                    f"length {len(seq)}")
+            chunk.append((encode(seq, allow_n=True), name))
+            ordinal += 1
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+    if chunk:
+        yield chunk
+
+
+def iter_reads(reads: PathLike,
+               chunk_size: OptionalChunk = DEFAULT_READ_CHUNK
+               ) -> Iterator[Tuple[np.ndarray, str]]:
+    """Flat, lazy view of :func:`iter_reads_chunked` (one read at a time)."""
+    for chunk in iter_reads_chunked(reads, chunk_size=chunk_size):
+        yield from chunk
 
 
 def _pair_name(name1: str, name2: str, ordinal: int,

@@ -1,0 +1,65 @@
+"""JSONL (newline-delimited JSON) alignment output.
+
+One JSON object per alignment record, one line per object — the format
+downstream data pipelines (and the serving daemon's structured
+consumers) ingest without a SAM parser.  Rendering is deterministic:
+fixed key order, compact separators, no floats — so the same results
+always serialize to the same bytes, and the daemon's wire lines are
+byte-identical to :class:`JsonlWriter` file output (both call
+:func:`jsonl_record_lines`).
+
+Unlike PAF, unmapped records ARE emitted (``"mapped": false`` with
+placement fields nulled), so a JSONL file accounts for every read of a
+run; result-level provenance (``engine``, ``stage``) rides along on
+each record line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, List
+
+from .results import ResultLineWriter, result_records
+
+
+def jsonl_header_lines(reference=None) -> List[str]:
+    """JSONL has no header; one definition keeps the format table uniform."""
+    return []
+
+
+def record_payload(record, result=None) -> dict:
+    """One record as the plain-JSON-types payload of its JSONL line."""
+    mapped = bool(record.mapped)
+    return {
+        "name": record.query_name,
+        "mapped": mapped,
+        "chrom": record.chromosome if mapped else None,
+        "pos": int(record.position) if mapped else None,
+        "strand": record.strand if mapped else None,
+        "mapq": int(record.mapq),
+        "cigar": str(record.cigar) if mapped else None,
+        "score": int(record.score),
+        "method": record.method,
+        "mate": int(record.mate),
+        "proper_pair": bool(record.proper_pair),
+        "engine": getattr(result, "engine", "") or None,
+        "stage": getattr(result, "stage", "") or None,
+    }
+
+
+def jsonl_record_lines(results: Iterable, reference=None) -> Iterator[str]:
+    """Render a result stream as JSONL lines (the daemon's wire form).
+
+    Lazy: one line per record, mapped or not, in stream order.
+    """
+    for result in results:
+        for record in result_records(result):
+            yield json.dumps(record_payload(record, result),
+                             separators=(",", ":"))
+
+
+class JsonlWriter(ResultLineWriter):
+    """Incremental JSONL file writer over :func:`jsonl_record_lines`."""
+
+    def result_lines(self, result) -> Iterator[str]:
+        return jsonl_record_lines((result,), self.reference)

@@ -1,0 +1,115 @@
+"""PAF (Pairwise mApping Format) output, minimap2-flavoured.
+
+PAF is the line-per-alignment interchange format of the long-read
+ecosystem: twelve mandatory tab-separated columns (query name/length/
+start/end, strand, target name/length/start/end, residue matches,
+alignment block length, mapping quality) followed by SAM-style typed
+tags.  This module renders the reproduction's alignment records as PAF,
+factored exactly like the SAM path — :func:`paf_record_lines` is the
+one renderer, and :class:`PafWriter` writes those same lines to a file
+— so the daemon's wire output is byte-identical to offline file output.
+
+Differences from SAM worth knowing:
+
+* PAF has **no header** and **no unmapped rows** — an unmapped record
+  renders to nothing (the record count of a PAF file is therefore the
+  mapped-record count, not the read count);
+* coordinates are 0-based half-open on both query and target;
+* the CIGAR travels in the ``cg:Z:`` tag, and the alignment score in
+  ``AS:i:`` (matching minimap2's tag vocabulary).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from .results import ResultLineWriter, result_records
+
+#: CIGAR ops that consume query bases / reference bases / count as
+#: aligned block columns, per the PAF column definitions.
+_CLIP_OPS = frozenset("SH")
+_MATCH_OPS = frozenset("M=")
+_BLOCK_OPS = frozenset("MIDX=")
+
+
+def paf_line(record, reference=None) -> Optional[str]:
+    """One record as a PAF line, or ``None`` for an unmapped record.
+
+    ``reference`` supplies the target sequence length column; without
+    it the column is 0 (some consumers tolerate that, a
+    :class:`~repro.genome.reference.ReferenceGenome` makes it exact).
+    """
+    if not record.mapped:
+        return None
+    ops = record.cigar.ops
+    lead = 0
+    for length, op in ops:
+        if op not in _CLIP_OPS:
+            break
+        lead += length
+    tail = 0
+    for length, op in reversed(ops):
+        if op not in _CLIP_OPS:
+            break
+        tail += length
+    if record.strand == "-":
+        # The mappers align the reverse-complemented read, so the CIGAR
+        # (and its clips) are in RC orientation; PAF query coordinates
+        # are on the ORIGINAL read strand, which mirrors the clips.
+        lead, tail = tail, lead
+    if record.read_codes is not None:
+        query_length = len(record.read_codes)
+    else:
+        query_length = record.cigar.read_length
+    matches = sum(length for length, op in ops if op in _MATCH_OPS)
+    block = sum(length for length, op in ops if op in _BLOCK_OPS)
+    target_length = 0
+    if reference is not None and record.chromosome in reference.names:
+        target_length = reference.length(record.chromosome)
+    fields = [
+        record.query_name,
+        str(query_length),
+        str(lead),
+        str(query_length - tail),
+        record.strand,
+        record.chromosome,
+        str(target_length),
+        str(record.position),
+        str(record.reference_end),
+        str(matches),
+        str(block),
+        str(record.mapq),
+        f"AS:i:{record.score}",
+        f"XM:Z:{record.method}",
+        f"cg:Z:{record.cigar}",
+    ]
+    return "\t".join(fields)
+
+
+def paf_header_lines(reference=None) -> List[str]:
+    """PAF has no header; one definition keeps the format table uniform."""
+    return []
+
+
+def paf_record_lines(results: Iterable, reference=None) -> Iterator[str]:
+    """Render a result stream as PAF lines (the daemon's wire form).
+
+    Lazy: pulls one result at a time and emits a line per *mapped*
+    record — unmapped records are skipped, per PAF convention.
+    """
+    for result in results:
+        for record in result_records(result):
+            line = paf_line(record, reference)
+            if line is not None:
+                yield line
+
+
+class PafWriter(ResultLineWriter):
+    """Incremental PAF file writer over :func:`paf_record_lines`.
+
+    :attr:`count` is the number of PAF lines written — mapped records
+    only, so it can be lower than the SAM record count of the same run.
+    """
+
+    def result_lines(self, result) -> Iterator[str]:
+        return paf_record_lines((result,), self.reference)

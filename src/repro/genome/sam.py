@@ -16,6 +16,7 @@ import numpy as np
 
 from .cigar import Cigar
 from .reference import ReferenceGenome
+from .results import result_records
 from .sequence import decode
 
 PathLike = Union[str, Path]
@@ -154,10 +155,15 @@ class SamWriter:
         self._handle.write(record.to_sam_line() + "\n")
         self.count += 1
 
-    def write_pair(self, result) -> None:
-        """Append both records of a pipeline ``PairResult``."""
-        self.write(result.record1)
-        self.write(result.record2)
+    def write_result(self, result) -> None:
+        """Append every record of a mapping result — both mates of a
+        pipeline ``PairResult``/paired ``MappingResult``, the single
+        record of a long-read result, or a bare record."""
+        for record in result_records(result):
+            self.write(record)
+
+    # Historical name from when the only results were read pairs.
+    write_pair = write_result
 
     def write_all(self, records: Iterable[AlignmentRecord]) -> int:
         """Append many records; returns the number written by this call."""
@@ -167,17 +173,17 @@ class SamWriter:
         return self.count - before
 
     def drain(self, results: Iterable) -> int:
-        """Write a stream of pipeline ``PairResult``s as they arrive.
+        """Write a stream of mapping results as they arrive.
 
         Pulls ``results`` one element at a time (keeping a lazy
-        ``map_stream`` generator lazy) and writes both records of each
-        pair immediately, so disk output overlaps with mapping instead
-        of waiting for the stream to finish.  Flushes once the stream
-        ends and returns the number of pairs drained by this call.
+        ``map_stream`` generator lazy) and writes each result's records
+        immediately, so disk output overlaps with mapping instead of
+        waiting for the stream to finish.  Flushes once the stream
+        ends and returns the number of results drained by this call.
         """
         drained = 0
         for result in results:
-            self.write_pair(result)
+            self.write_result(result)
             drained += 1
         self.flush()
         return drained
@@ -220,11 +226,14 @@ def sam_header_lines(
 
 
 def sam_record_lines(results: Iterable) -> Iterable[str]:
-    """Render a stream of pipeline ``PairResult``s as SAM record lines.
+    """Render a stream of mapping results as SAM record lines.
 
-    Lazy: pulls one result at a time, emitting both mates' lines —
-    exactly the body :meth:`SamWriter.drain` would write.
+    Lazy: pulls one result at a time, emitting a line per record (both
+    mates of a pair, the single record of a long read) — exactly the
+    body :meth:`SamWriter.drain` would write.  Accepts pipeline
+    ``PairResult``s, engine-agnostic ``MappingResult``s, and bare
+    records alike.
     """
     for result in results:
-        yield result.record1.to_sam_line()
-        yield result.record2.to_sam_line()
+        for record in result_records(result):
+            yield record.to_sam_line()

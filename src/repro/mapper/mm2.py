@@ -50,6 +50,9 @@ class MapperConfig:
     max_insert: int = 1000
     #: Alignments below this fraction of the perfect score are unmapped.
     min_score_fraction: float = 0.4
+    #: Attempt mate rescue (banded search in the insert window) when no
+    #: properly-oriented combination of independent placements exists.
+    mate_rescue: bool = True
 
 
 @dataclass
@@ -133,7 +136,7 @@ class Mm2LikeMapper:
         with self.timer.stage("pairing"):
             combo = self._best_combo(placements1, placements2,
                                      len(read1), len(read2))
-        if combo is None:
+        if combo is None and self.config.mate_rescue:
             rescued = self._try_rescue(read1, read2, placements1,
                                        placements2)
             if rescued is not None:
@@ -151,6 +154,24 @@ class Mm2LikeMapper:
         record1.set_mate(record2)
         record2.set_mate(record1)
         return record1, record2, True
+
+    # -- batched entry points ------------------------------------------------
+
+    def map_pairs(self, pairs: List[Tuple[np.ndarray, np.ndarray, str]]
+                  ) -> List[Tuple[AlignmentRecord, AlignmentRecord, bool]]:
+        """Map a chunk of ``(read1, read2, name)`` tuples in input order.
+
+        The batched entry point the engine-polymorphic API streams
+        chunks through; statistics accumulate in :attr:`stats` exactly
+        as repeated :meth:`map_pair` calls would.
+        """
+        return [self.map_pair(read1, read2, name)
+                for read1, read2, name in pairs]
+
+    def map_reads(self, reads: List[Tuple[np.ndarray, str]]
+                  ) -> List[AlignmentRecord]:
+        """Map a chunk of single ``(codes, name)`` reads in input order."""
+        return [self.map_read(codes, name) for codes, name in reads]
 
     # -- pipeline stages -----------------------------------------------------
 

@@ -1,0 +1,275 @@
+"""The engine-polymorphic facade: engines, formats, sub-configs, edges."""
+
+import numpy as np
+import pytest
+
+from repro.api import (ENGINES, OUTPUT_FORMATS, LongReadOptions, Mapper,
+                       MappingConfig, MappingConfigError, Mm2Options,
+                       RegistryError, output_format)
+from repro.core import GenPairPipeline, LongReadStats, PipelineStats
+from repro.genome import MappingResult, reverse_complement, write_fastq
+from repro.mapper import MapperStats
+
+
+@pytest.fixture(scope="module")
+def mapper(small_reference, seedmap):
+    with Mapper(small_reference, seedmap,
+                config=MappingConfig(full_fallback=False)) as facade:
+        yield facade
+
+
+@pytest.fixture(scope="module")
+def pairs(simulator):
+    return simulator.simulate_pairs(25)
+
+
+@pytest.fixture(scope="module")
+def long_reads(simulator):
+    return simulator.simulate_long_reads(4, length_mean=1200,
+                                         length_sd=150)
+
+
+class TestPolymorphicSurface:
+    def test_all_engines_same_surface(self, mapper, pairs, long_reads):
+        for engine, items in (("genpair", pairs), ("mm2", pairs),
+                              ("longread", long_reads)):
+            results = mapper.map(items, engine=engine)
+            assert len(results) == len(items)
+            assert all(isinstance(r, MappingResult) for r in results)
+            assert all(r.engine == engine for r in results)
+
+    def test_registry_lists_three_engines(self):
+        assert ENGINES.names() == ("genpair", "longread", "mm2")
+        assert OUTPUT_FORMATS.names() == ("jsonl", "paf", "sam")
+
+    def test_genpair_results_match_direct_pipeline(
+            self, mapper, small_reference, seedmap, pairs):
+        direct = GenPairPipeline(small_reference, seedmap=seedmap)
+        expected = [line for result in direct.map_pairs(pairs)
+                    for line in (result.record1.to_sam_line(),
+                                 result.record2.to_sam_line())]
+        results = mapper.map(pairs, engine="genpair")
+        got = list(mapper.lines(results, format="sam", header=False))
+        assert got == expected
+
+    def test_engine_instances_built_lazily_and_reused(
+            self, small_reference, seedmap, pairs):
+        with Mapper(small_reference, seedmap,
+                    config=MappingConfig(full_fallback=False)) as facade:
+            assert facade._engines == {}
+            first = facade.engine("mm2")
+            facade.map(pairs[:3], engine="mm2")
+            assert facade.engine("mm2") is first
+
+    def test_unknown_engine_names_available(self, mapper, pairs):
+        with pytest.raises(RegistryError, match="genpair"):
+            mapper.map(pairs, engine="bowtie")
+
+    def test_per_run_stats_typed_by_engine(self, mapper, pairs,
+                                           long_reads):
+        mapper.map(pairs, engine="genpair")
+        assert isinstance(mapper.last_stats, PipelineStats)
+        assert mapper.last_engine == "genpair"
+        mapper.map(pairs, engine="mm2")
+        assert isinstance(mapper.last_stats, MapperStats)
+        assert mapper.last_stats.pairs_seen == len(pairs)
+        mapper.map(long_reads, engine="longread")
+        assert isinstance(mapper.last_stats, LongReadStats)
+        assert mapper.last_engine == "longread"
+
+    def test_engine_stats_accumulate_per_engine(
+            self, small_reference, seedmap, pairs):
+        with Mapper(small_reference, seedmap,
+                    config=MappingConfig(full_fallback=False)) as facade:
+            facade.map(pairs[:4], engine="genpair")
+            facade.map(pairs[:6], engine="mm2")
+            facade.map(pairs[6:9], engine="mm2")
+            totals = facade.engine_stats()
+            assert totals["genpair"]["pairs_total"] == 4
+            assert totals["mm2"]["pairs_seen"] == 9
+            # the historical GenPair accumulator is untouched by mm2
+            assert facade.stats.pairs_total == 4
+            facade.reset_stats()
+            assert facade.engine_stats()["mm2"]["pairs_seen"] == 0
+
+    def test_one_run_at_a_time_across_engines(self, mapper, pairs):
+        stream = mapper.map_stream(pairs, engine="genpair")
+        with pytest.raises(RuntimeError, match="one run at a time"):
+            mapper.map(pairs, engine="mm2")
+        stream.close()
+
+
+class TestParityEdges:
+    def test_mm2_pair_spanning_chromosome_boundary(self,
+                                                   small_reference,
+                                                   seedmap):
+        # read1 from the tail of chr1, read2 from the head of chr2:
+        # adjacent in linear coordinates but on different chromosomes.
+        len1 = small_reference.length("chr1")
+        read1 = small_reference.fetch("chr1", len1 - 150, len1)
+        read2 = reverse_complement(small_reference.fetch("chr2", 0, 150))
+        with Mapper(small_reference, seedmap,
+                    config=MappingConfig(full_fallback=False)) as facade:
+            (result,) = facade.map([(read1, read2, "straddle")],
+                                   engine="mm2")
+        record1, record2 = result.records
+        assert record1.mapped and record1.chromosome == "chr1"
+        assert record2.mapped and record2.chromosome == "chr2"
+        # A cross-chromosome pair must never carry the proper-pair flag.
+        assert not record1.proper_pair and not record2.proper_pair
+
+    def test_longread_shorter_than_one_chunk_unmapped(self, mapper):
+        short = np.zeros(40, dtype=np.uint8)  # < chunk_length (150)
+        (result,) = mapper.map([(short, "tiny")], engine="longread")
+        assert not result.mapped
+        assert result.stage == "unmapped"
+        assert mapper.last_stats.pseudo_pairs == 0
+
+    @pytest.mark.parametrize("engine", ["genpair", "mm2", "longread"])
+    def test_empty_input_returns_empty_with_zeroed_stats(self, mapper,
+                                                         engine):
+        import dataclasses
+
+        assert mapper.map([], engine=engine) == []
+        stats = mapper.last_stats
+        assert {spec.name: int(getattr(stats, spec.name))
+                for spec in dataclasses.fields(stats)} \
+            == {spec.name: 0 for spec in dataclasses.fields(stats)}
+
+
+class TestOutputFormats:
+    def test_write_and_lines_byte_identical_everywhere(
+            self, tmp_path, mapper, pairs, long_reads):
+        for engine, items in (("genpair", pairs), ("mm2", pairs),
+                              ("longread", long_reads)):
+            results = mapper.map(items, engine=engine)
+            for fmt in ("sam", "paf", "jsonl"):
+                path = tmp_path / f"{engine}.{fmt}"
+                count = mapper.write(results, path, format=fmt)
+                wire = "".join(
+                    line + "\n"
+                    for line in mapper.lines(results, format=fmt))
+                assert path.read_text() == wire
+                assert count >= 0
+
+    def test_default_format_comes_from_config(self, small_reference,
+                                              seedmap, pairs, tmp_path):
+        config = MappingConfig(full_fallback=False,
+                               output_format="jsonl")
+        with Mapper(small_reference, seedmap, config=config) as facade:
+            results = facade.map(pairs[:3])
+            path = tmp_path / "default.out"
+            facade.write(results, path)
+            assert path.read_text().startswith('{"name"')
+
+    def test_unknown_format_names_available(self, mapper, pairs):
+        results = mapper.map(pairs[:2])
+        with pytest.raises(RegistryError, match="jsonl, paf, sam"):
+            list(mapper.lines(results, format="bam"))
+
+    def test_output_format_helper_resolves(self):
+        assert output_format("paf").suffix == ".paf"
+
+
+class TestMapFileArity:
+    def test_single_engine_rejects_two_files(self, mapper, tmp_path):
+        path = tmp_path / "r.fq"
+        write_fastq(path, [("r", np.zeros(200, dtype=np.uint8))])
+        with pytest.raises(MappingConfigError, match="single-read"):
+            mapper.map_file(path, path, engine="longread")
+
+    def test_paired_engine_rejects_one_file(self, mapper, tmp_path):
+        path = tmp_path / "r.fq"
+        write_fastq(path, [("r", np.zeros(200, dtype=np.uint8))])
+        with pytest.raises(MappingConfigError, match="paired"):
+            mapper.map_file(path, engine="mm2")
+
+    def test_longread_map_file_round_trip(self, mapper, tmp_path,
+                                          long_reads):
+        path = tmp_path / "long.fq"
+        write_fastq(path, ((r.name, r.codes) for r in long_reads))
+        results = list(mapper.map_file(path, engine="longread"))
+        assert [r.name for r in results] == [r.name for r in long_reads]
+
+
+class TestEngineOptions:
+    def test_mm2_options_flow_into_mapper_config(self, small_reference,
+                                                 seedmap):
+        config = MappingConfig(engine="mm2", full_fallback=False,
+                               mm2=Mm2Options(mate_rescue=False,
+                                              max_insert=750))
+        with Mapper(small_reference, seedmap, config=config) as facade:
+            engine = facade.engine("mm2")
+            assert engine.mapper.config.mate_rescue is False
+            assert engine.mapper.config.max_insert == 750
+
+    def test_longread_options_flow_into_mapper_config(
+            self, small_reference, seedmap):
+        config = MappingConfig(
+            engine="longread", full_fallback=False,
+            longread=LongReadOptions(vote_bin=32, min_votes=2,
+                                     max_votes_tried=5))
+        with Mapper(small_reference, seedmap, config=config) as facade:
+            engine = facade.engine("longread")
+            assert engine.mapper.config.vote_bin == 32
+            assert engine.mapper.config.min_votes == 2
+            assert engine.mapper.config.max_votes_tried == 5
+            # the facade's fingerprint knobs flow through too
+            assert engine.mapper.config.seed_length \
+                == facade.config.seed_length
+
+    def test_chunk_shorter_than_seed_rejected(self, small_reference,
+                                              seedmap):
+        config = MappingConfig(engine="longread", full_fallback=False,
+                               longread=LongReadOptions(chunk_length=30))
+        with Mapper(small_reference, seedmap, config=config) as facade:
+            with pytest.raises(MappingConfigError, match="chunk_length"):
+                facade.engine("longread")
+
+    def test_options_rejected_for_wrong_engine(self):
+        with pytest.raises(MappingConfigError, match="only apply"):
+            MappingConfig(engine="genpair", mm2=Mm2Options())
+        with pytest.raises(MappingConfigError, match="only apply"):
+            MappingConfig(engine="mm2", mm2=Mm2Options(),
+                          longread=LongReadOptions())
+
+    def test_options_round_trip_through_dict(self):
+        config = MappingConfig(
+            engine="longread",
+            longread=LongReadOptions(vote_bin=128, min_votes=3))
+        payload = config.to_dict()
+        assert payload["longread"]["vote_bin"] == 128
+        rebuilt = MappingConfig.from_dict(payload)
+        assert rebuilt == config
+        assert isinstance(rebuilt.longread, LongReadOptions)
+
+    def test_unknown_option_keys_rejected_by_name(self):
+        with pytest.raises(MappingConfigError, match="mate_resuce"):
+            MappingConfig(engine="mm2", mm2={"mate_resuce": False})
+        with pytest.raises(MappingConfigError, match="vote_width"):
+            MappingConfig.from_dict(
+                {"engine": "longread", "longread": {"vote_width": 9}})
+
+    def test_option_value_validation(self):
+        with pytest.raises(MappingConfigError, match="max_insert"):
+            MappingConfig(engine="mm2", mm2=Mm2Options(max_insert=0))
+        with pytest.raises(MappingConfigError, match="min_votes"):
+            MappingConfig(engine="longread",
+                          longread=LongReadOptions(min_votes=0))
+
+
+class TestVariantPostStage:
+    def test_map_and_call_writes_both_outputs(self, tmp_path,
+                                              small_reference, seedmap,
+                                              simulator):
+        pairs = simulator.simulate_pairs(60)
+        with Mapper(small_reference, seedmap,
+                    config=MappingConfig(full_fallback=False)) as facade:
+            out = tmp_path / "out.sam"
+            vcf = tmp_path / "out.vcf"
+            records, calls = facade.map_and_call(
+                facade.map_stream(pairs), out, vcf)
+        assert records == 2 * len(pairs)
+        assert out.read_text().startswith("@HD")
+        assert "##fileformat" in vcf.read_text()
+        assert calls >= 0

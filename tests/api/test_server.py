@@ -221,3 +221,117 @@ class TestLifecycle:
             with pytest.raises(ClientError) as excinfo:
                 client.map_pairs([{"read1": "ACGT"}])
             assert "read2" in str(excinfo.value)
+
+
+class TestEnginePolymorphicProtocol:
+    """Per-request engine/format selection against the one warm facade."""
+
+    @pytest.fixture(scope="class")
+    def long_reads(self, simulator):
+        return simulator.simulate_long_reads(3, length_mean=900,
+                                             length_sd=100)
+
+    def test_ping_lists_engines_and_formats(self, server):
+        with Client(server.socket_path) as client:
+            reply = client.ping()
+        assert reply["engine"] == "genpair"
+        assert set(reply["engines"]) == {"genpair", "mm2", "longread"}
+        assert set(reply["formats"]) == {"sam", "paf", "jsonl"}
+
+    def test_mm2_paf_wire_matches_offline(self, server, index_path,
+                                          pairs):
+        named = [(p.read1.codes, p.read2.codes, p.name) for p in pairs]
+        with Mapper.from_index(index_path, full_fallback=False) \
+                as mapper:
+            offline = list(mapper.lines(mapper.map_stream(
+                named, engine="mm2"), format="paf"))
+        with Client(server.socket_path) as client:
+            reply = client.map_pairs(wire_pairs(pairs), header=True,
+                                     engine="mm2", format="paf")
+        assert reply["engine"] == "mm2"
+        assert reply["format"] == "paf"
+        assert reply["lines"] == offline
+        assert "sam" not in reply
+        assert reply["stats"]["pairs_seen"] == len(pairs)
+
+    def test_longread_jsonl_wire_matches_offline(self, server,
+                                                 index_path,
+                                                 long_reads):
+        items = [(r.codes, r.name) for r in long_reads]
+        with Mapper.from_index(index_path, full_fallback=False) \
+                as mapper:
+            offline = list(mapper.lines(mapper.map_stream(
+                items, engine="longread"), format="jsonl"))
+        with Client(server.socket_path) as client:
+            reply = client.map_reads(
+                [(decode(r.codes), r.name) for r in long_reads],
+                engine="longread", format="jsonl")
+        assert reply["lines"] == offline
+        assert reply["stats"]["reads_total"] == len(long_reads)
+
+    def test_map_file_engine_format_matches_offline(self, server,
+                                                    tmp_path,
+                                                    index_path, pairs):
+        fq1, fq2 = tmp_path / "e_1.fq", tmp_path / "e_2.fq"
+        write_fastq(fq1, ((p.read1.name, p.read1.codes) for p in pairs))
+        write_fastq(fq2, ((p.read2.name, p.read2.codes) for p in pairs))
+        offline = tmp_path / "offline.paf"
+        with Mapper.from_index(index_path, full_fallback=False) \
+                as mapper:
+            mapper.write(mapper.map_file(fq1, fq2, engine="mm2"),
+                         offline, format="paf")
+        served = tmp_path / "served.paf"
+        with Client(server.socket_path) as client:
+            reply = client.map_file(fq1, fq2, served, engine="mm2",
+                                    format="paf")
+        assert reply["engine"] == "mm2"
+        assert served.read_bytes() == offline.read_bytes()
+
+    def test_wrong_payload_key_for_engine_is_an_error(self, server,
+                                                      pairs):
+        with Client(server.socket_path) as client:
+            with pytest.raises(ClientError, match="single reads"):
+                client.request({"op": "map", "engine": "longread",
+                                "pairs": [["ACGT", "ACGT"]]})
+            with pytest.raises(ClientError, match="read pairs"):
+                client.request({"op": "map", "engine": "mm2",
+                                "reads": [["ACGT"]]})
+            # the connection stays usable afterwards
+            assert client.ping()["ok"]
+
+    def test_unknown_engine_is_an_error_naming_available(self, server):
+        with Client(server.socket_path) as client:
+            with pytest.raises(ClientError, match="genpair"):
+                client.request({"op": "map", "engine": "star",
+                                "pairs": []})
+
+    def test_unknown_format_rejected_before_mapping(self, server,
+                                                    pairs):
+        with Client(server.socket_path) as client:
+            with pytest.raises(ClientError, match="jsonl, paf, sam"):
+                client.map_pairs(wire_pairs(pairs), format="bam")
+            # nothing was mapped, and the facade is still serviceable
+            # (no abandoned run holding the one-run-at-a-time slot)
+            before = client.stats()["mapper"]["pairs_total"]
+            reply = client.map_pairs(wire_pairs(pairs[:2]))
+            assert reply["pairs"] == 2
+            assert client.stats()["mapper"]["pairs_total"] \
+                == before + 2
+
+    def test_unknown_format_on_map_file_leaves_mapper_usable(
+            self, server, tmp_path, pairs):
+        fq1, fq2 = tmp_path / "f_1.fq", tmp_path / "f_2.fq"
+        write_fastq(fq1, ((p.read1.name, p.read1.codes) for p in pairs))
+        write_fastq(fq2, ((p.read2.name, p.read2.codes) for p in pairs))
+        with Client(server.socket_path) as client:
+            with pytest.raises(ClientError, match="output format"):
+                client.map_file(fq1, fq2, tmp_path / "x.out",
+                                format="parquet")
+            reply = client.map_file(fq1, fq2, tmp_path / "ok.sam")
+            assert reply["records"] == 2 * len(pairs)
+
+    def test_stats_report_per_engine_totals(self, server, pairs):
+        with Client(server.socket_path) as client:
+            client.map_pairs(wire_pairs(pairs[:5]), engine="mm2")
+            report = client.stats()
+        assert report["engines"]["mm2"]["pairs_seen"] == 5

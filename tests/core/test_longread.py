@@ -65,3 +65,45 @@ class TestLongReadMapper:
         record = mapper.map_read(codes, "vote")
         assert record.mapped
         assert abs(record.position - 10_000) <= 64 + 5  # vote bin width
+
+
+class TestVoteThresholdAndBatch:
+    def test_min_votes_filters_weak_bins(self, plain_reference,
+                                         plain_seedmap):
+        """A threshold above every bin's votes leaves the read unmapped
+        (the bins exist, but none clears the bar)."""
+        codes = plain_reference.fetch("chr1", 2000, 3500)
+        permissive = LongReadMapper(plain_reference,
+                                    seedmap=plain_seedmap)
+        assert permissive.map_read(codes, "a").mapped
+        votes = permissive._vote(codes)
+        bar = max(votes.values()) + 1
+        strict = LongReadMapper(
+            plain_reference, seedmap=plain_seedmap,
+            config=LongReadConfig(min_votes=bar))
+        record = strict.map_read(codes, "a")
+        assert not record.mapped
+        assert strict.stats.dp_cells == 0  # no DP attempt at all
+
+    def test_min_votes_default_keeps_behaviour(self, plain_reference,
+                                               plain_seedmap):
+        default = LongReadMapper(plain_reference, seedmap=plain_seedmap)
+        explicit = LongReadMapper(plain_reference, seedmap=plain_seedmap,
+                                  config=LongReadConfig(min_votes=1))
+        codes = plain_reference.fetch("chr1", 5000, 6800)
+        rec1 = default.map_read(codes, "a")
+        rec2 = explicit.map_read(codes, "a")
+        assert (rec1.position, rec1.score) == (rec2.position, rec2.score)
+
+    def test_map_reads_batch_matches_map_read(self, plain_reference,
+                                              plain_seedmap):
+        serial = LongReadMapper(plain_reference, seedmap=plain_seedmap)
+        batched = LongReadMapper(plain_reference, seedmap=plain_seedmap)
+        items = [(plain_reference.fetch("chr1", start, start + 1200),
+                  f"read{start}") for start in (500, 4000, 9000)]
+        expected = [serial.map_read(codes, name)
+                    for codes, name in items]
+        got = batched.map_reads(items)
+        assert [(r.position, r.score) for r in got] \
+            == [(r.position, r.score) for r in expected]
+        assert batched.stats.reads_total == 3

@@ -223,3 +223,104 @@ class TestReadAhead:
         assert len(first) == 2
         assert len(pulled) <= 4
         assert sum(len(chunk) for chunk in stream) == 18
+
+
+def _write_reads(path, count=6, length=20, name=None):
+    rng = np.random.default_rng(5)
+    names = []
+    with open(path, "w") as handle:
+        for index in range(count):
+            read_name = name or f"long{index}"
+            names.append(read_name)
+            seq = "".join("ACGT"[code]
+                          for code in rng.integers(0, 4, size=length))
+            handle.write(f"@{read_name}\n{seq}\n+\n{'I' * length}\n")
+    return names
+
+
+class TestSingleReadStreaming:
+    def test_chunks_preserve_order_and_names(self, tmp_path):
+        from repro.genome import iter_reads, iter_reads_chunked
+
+        path = tmp_path / "long.fq"
+        names = _write_reads(path, count=7)
+        chunks = list(iter_reads_chunked(path, chunk_size=3))
+        assert [len(chunk) for chunk in chunks] == [3, 3, 1]
+        flat = list(iter_reads(path, chunk_size=3))
+        assert [name for _, name in flat] == names
+        assert all(codes.dtype.kind in "iu" and len(codes) == 20
+                   for codes, _ in flat)
+
+    def test_truncated_record_raises_loudly(self, tmp_path):
+        from repro.genome import iter_reads
+
+        path = tmp_path / "trunc.fq"
+        _write_reads(path, count=2)
+        text = path.read_text().splitlines()
+        path.write_text("\n".join(text[:-2]) + "\n")  # drop +/qual
+        with pytest.raises(FastaError, match="truncated.*2 of its 4"):
+            list(iter_reads(path))
+
+    def test_file_ending_mid_sequence_raises(self, tmp_path):
+        from repro.genome import iter_reads
+
+        path = tmp_path / "trunc.fq"
+        path.write_text("@only\n")  # header line alone
+        with pytest.raises(FastaError, match="truncated"):
+            list(iter_reads(path))
+
+    def test_mismatched_plus_separator_raises(self, tmp_path):
+        from repro.genome import iter_reads
+
+        path = tmp_path / "bad.fq"
+        path.write_text("@readA\nACGT\n+readB\nIIII\n")
+        with pytest.raises(FastaError, match="separator.*readB"):
+            list(iter_reads(path))
+
+    def test_plus_separator_repeating_name_accepted(self, tmp_path):
+        from repro.genome import iter_reads
+
+        path = tmp_path / "ok.fq"
+        path.write_text("@readA extra stuff\nACGT\n+readA\nIIII\n")
+        ((codes, name),) = list(iter_reads(path))
+        assert name == "readA"
+
+    def test_missing_plus_line_raises(self, tmp_path):
+        from repro.genome import iter_reads
+
+        path = tmp_path / "noplus.fq"
+        path.write_text("@r\nACGT\nIIII\n@r2\nACGT\n+\nIIII\n")
+        with pytest.raises(FastaError, match="'\\+' separator"):
+            list(iter_reads(path))
+
+    def test_quality_length_mismatch_raises(self, tmp_path):
+        from repro.genome import iter_reads
+
+        path = tmp_path / "qual.fq"
+        path.write_text("@r\nACGT\n+\nII\n")
+        with pytest.raises(FastaError, match="quality length 2"):
+            list(iter_reads(path))
+
+    def test_trailing_blank_lines_tolerated(self, tmp_path):
+        from repro.genome import iter_reads
+
+        path = tmp_path / "blank.fq"
+        _write_reads(path, count=2)
+        with open(path, "a") as handle:
+            handle.write("\n")
+        assert len(list(iter_reads(path))) == 2
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        from repro.genome import iter_reads_chunked
+
+        path = tmp_path / "empty.fq"
+        path.write_text("")
+        assert list(iter_reads_chunked(path)) == []
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        from repro.genome import iter_reads_chunked
+
+        path = tmp_path / "x.fq"
+        _write_reads(path, count=1)
+        with pytest.raises(ValueError):
+            list(iter_reads_chunked(path, chunk_size=0))

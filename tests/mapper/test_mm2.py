@@ -76,6 +76,34 @@ class TestPairedEnd:
         assert abs(rec2.position - pair.read2.ref_start) <= 5
         assert mapper.stats.mate_rescues >= 1
 
+    def test_mate_rescue_disabled_by_config(self, plain_reference,
+                                            clean_pairs):
+        """Same corrupted mate, rescue off: no rescue is attempted."""
+        mapper = Mm2LikeMapper(plain_reference,
+                               config=MapperConfig(mate_rescue=False))
+        pair = clean_pairs[1]
+        read2 = pair.read2.codes.copy()
+        for pos in range(0, 150, 11):  # break every minimizer
+            read2[pos] = (read2[pos] + 1) % 4
+        rec1, rec2, proper = mapper.map_pair(pair.read1.codes, read2,
+                                             "norescue")
+        assert not proper
+        assert mapper.stats.mate_rescues == 0
+        assert rec1.mapped  # read1 still maps independently
+
+    def test_map_pairs_batch_matches_map_pair(self, plain_reference,
+                                              clean_pairs):
+        serial = Mm2LikeMapper(plain_reference)
+        batched = Mm2LikeMapper(plain_reference)
+        items = [(p.read1.codes, p.read2.codes, p.name)
+                 for p in clean_pairs[:5]]
+        expected = [serial.map_pair(*item) for item in items]
+        got = batched.map_pairs(items)
+        for (e1, e2, ep), (g1, g2, gp) in zip(expected, got):
+            assert (e1.position, e2.position, ep) \
+                == (g1.position, g2.position, gp)
+        assert batched.stats.pairs_seen == serial.stats.pairs_seen
+
     def test_timer_populated(self, plain_reference, clean_pairs):
         mapper = Mm2LikeMapper(plain_reference)
         mapper.map_pair(clean_pairs[2].read1.codes,

@@ -240,6 +240,108 @@ class TestWorkflow:
 
 @pytest.mark.skipif(not hasattr(socket, "AF_UNIX"),
                     reason="serve/client need UNIX-domain sockets")
+class TestEngineWorkflow:
+    @pytest.fixture(scope="class")
+    def world(self, tmp_path_factory):
+        """A simulated dataset + index + long-read FASTQ, built once."""
+        import numpy as np
+
+        from repro.genome import ReadSimulator, read_fasta, write_fastq
+
+        root = tmp_path_factory.mktemp("engines")
+        prefix = str(root / "demo")
+        assert main(["simulate", "--out", prefix, "--pairs", "40",
+                     "--chromosomes", "30000", "--seed", "9"]) == 0
+        assert main(["index", "build", "--reference",
+                     prefix + "_ref.fa", "--out", prefix + ".rpix"]) == 0
+        reference = read_fasta(prefix + "_ref.fa")
+        sim = ReadSimulator(reference, seed=23)
+        reads = sim.simulate_long_reads(4, length_mean=1200,
+                                        length_sd=150)
+        write_fastq(prefix + "_long.fq",
+                    ((r.name, r.codes) for r in reads))
+        return prefix
+
+    def test_engine_genpair_is_byte_identical_to_default(self, world,
+                                                         tmp_path):
+        default = str(tmp_path / "default.sam")
+        explicit = str(tmp_path / "explicit.sam")
+        base = ["map", "--index", world + ".rpix",
+                "--reads1", world + "_1.fq", "--reads2", world + "_2.fq",
+                "--no-fallback"]
+        assert main(base + ["--out", default]) == 0
+        assert main(base + ["--engine", "genpair",
+                            "--out", explicit]) == 0
+        assert open(explicit).read() == open(default).read()
+
+    def test_mm2_engine_paf_output(self, world, tmp_path, capsys):
+        out = str(tmp_path / "mm2.paf")
+        assert main(["map", "--index", world + ".rpix",
+                     "--engine", "mm2", "--format", "paf",
+                     "--reads1", world + "_1.fq",
+                     "--reads2", world + "_2.fq", "--out", out]) == 0
+        lines = open(out).read().splitlines()
+        assert lines and all(len(line.split("\t")) >= 12
+                             for line in lines)
+        assert "proper pairs" in capsys.readouterr().out
+
+    def test_map_long_shim_and_engine_flag_agree(self, world, tmp_path,
+                                                 capsys):
+        shim = str(tmp_path / "shim.jsonl")
+        flag = str(tmp_path / "flag.jsonl")
+        assert main(["map-long", "--index", world + ".rpix",
+                     "--format", "jsonl", "--reads", world + "_long.fq",
+                     "--out", shim]) == 0
+        assert main(["map", "--index", world + ".rpix",
+                     "--engine", "longread", "--format", "jsonl",
+                     "--reads", world + "_long.fq", "--out", flag]) == 0
+        assert open(shim).read() == open(flag).read()
+        assert "long reads" in capsys.readouterr().out
+
+    def test_call_variants_post_stage(self, world, tmp_path, capsys):
+        out = str(tmp_path / "cv.sam")
+        vcf = str(tmp_path / "cv.vcf")
+        assert main(["map", "--index", world + ".rpix",
+                     "--reads1", world + "_1.fq",
+                     "--reads2", world + "_2.fq",
+                     "--out", out, "--call-variants", vcf]) == 0
+        assert open(vcf).readline().startswith("##fileformat")
+        assert "called" in capsys.readouterr().out
+
+    def test_lazy_engine_config_error_is_clean(self, world, tmp_path,
+                                               capsys):
+        """Engine-construction errors surface as `error: ...` + exit 1,
+        not a traceback — engines build lazily inside map_file, after
+        _build_mapper's own gate has passed.  An index built with
+        seed_length 200 makes the longread default chunk (150) invalid.
+        """
+        wide = str(tmp_path / "wide.rpix")
+        assert main(["index", "build", "--reference",
+                     world + "_ref.fa", "--seed-length", "200",
+                     "--out", wide]) == 0
+        capsys.readouterr()
+        code = main(["map-long", "--index", wide,
+                     "--reads", world + "_long.fq",
+                     "--out", str(tmp_path / "x.sam")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "chunk_length" in err
+
+    def test_wrong_input_arity_exits_2(self, world, capsys):
+        assert main(["map", "--index", world + ".rpix",
+                     "--engine", "longread",
+                     "--reads1", world + "_1.fq",
+                     "--reads2", world + "_2.fq"]) == 2
+        assert "--reads" in capsys.readouterr().err
+        assert main(["map", "--index", world + ".rpix",
+                     "--engine", "mm2",
+                     "--reads", world + "_long.fq"]) == 2
+        assert "--reads1" in capsys.readouterr().err
+        assert main(["map", "--index", world + ".rpix",
+                     "--reads1", world + "_1.fq"]) == 2
+
+
 class TestServeWorkflow:
     def test_serve_client_map_matches_offline(self, tmp_path, capsys):
         prefix = str(tmp_path / "d")

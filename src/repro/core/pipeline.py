@@ -44,7 +44,6 @@ import itertools
 import multiprocessing
 import os
 import queue as queue_module
-import sys
 import traceback
 import weakref
 from dataclasses import dataclass, fields
@@ -63,6 +62,7 @@ from ..genome.sam import (METHOD_DP, METHOD_EXACT, METHOD_LIGHT,
                           AlignmentRecord)
 from ..genome.sequence import reverse_complement
 from ..hashing import hash_reads_batch
+from ..util.diagnostics import note
 from .light_align import LightAligner
 from .pairfilter import DEFAULT_DELTA, filter_adjacent
 from .query import QueryResult, query_hash_groups, query_read
@@ -463,14 +463,14 @@ class GenPairPipeline:
         return self.map_batch(items, chunk_size=chunk_size)
 
     def _warn_fork_unavailable(self) -> None:
-        """Print the fork-unavailable note once per pipeline, not once
+        """Emit the fork-unavailable note once per pipeline, not once
         per flushed buffer — a long stream degrades with a single line
         of stderr instead of one per chunk."""
         if self._fork_note_shown:
             return
         self._fork_note_shown = True
-        print("note: workers>1 needs os.fork, which this platform "
-              "lacks; mapping single-process instead", file=sys.stderr)
+        note("workers>1 needs os.fork, which this platform lacks; "
+             "mapping single-process instead")
 
     # -- shared per-pair dataflow ------------------------------------------
 

@@ -1,0 +1,83 @@
+"""`repro lint` — project-specific static analysis for the reproduction.
+
+The generic linters cannot know this codebase's invariants: that the
+:data:`~repro.core.pipeline._FORK_STATE` snapshot must stay fork-safe,
+that every registry entry must honour its stage protocol, or that SAM/
+PAF/JSONL record text may only be rendered by the registered output
+formats (the daemon's wire==file byte-identity holds *by construction*
+only while that stays true).  This package checks those invariants
+statically, from the AST, so the bug classes previous PRs fixed by hand
+— mutable dataclass defaults, chunk-relative name collisions behind a
+duplicated renderer, a fork-unsafe capture — cannot regress silently.
+
+Checkers and finding codes
+--------------------------
+
+===========  ===============================================================
+Code         Meaning
+===========  ===============================================================
+``RPL101``   fork-safety: threading primitive created in worker-reachable
+             code of a ``_FORK_STATE`` module (a lock held across ``fork``
+             deadlocks every child)
+``RPL102``   fork-safety: file handle / socket / pipe opened in
+             worker-reachable code (fd shared across the fork boundary)
+``RPL103``   fork-safety: legacy ``np.random`` / ``random`` *global* state
+             referenced from worker-reachable code (every forked child
+             inherits — and repeats — the same stream)
+``RPL104``   fork-safety: fork-unsafe resource (open fd, socket, lock,
+             RNG instance) stashed on an object or module global of a
+             ``_FORK_STATE`` module, i.e. captured pre-fork
+``RPL201``   mutable-default: function parameter defaulting to a
+             list/dict/set/bytearray/ndarray (shared across every call)
+``RPL202``   mutable-default: dataclass field with a mutable default
+             (shared across every instance; use ``default_factory``)
+``RPL301``   registry-contract: a registered entry's class does not
+             statically implement its protocol (missing method, wrong
+             arity, or an ``OutputFormat`` built without all renderers)
+``RPL302``   registry-contract: a ``MappingConfig`` engine sub-option
+             field with no registered engine of that name (the knobs
+             would silently do nothing)
+``RPL303``   registry-contract: a registry factory whose return value
+             cannot be resolved statically (the contract is unverifiable)
+``RPL401``   wire-identity: SAM/PAF record text assembled (tab-joined
+             record fields) outside ``genome/{sam,paf,jsonl}.py``
+``RPL402``   wire-identity: a wire tag/header literal (``AS:i:``,
+             ``XM:Z:``, ``cg:Z:``, ``@HD``/``@SQ`` header) outside the
+             registered renderer modules
+``RPL501``   no-print: ``print()`` in a library module (route
+             diagnostics through :mod:`repro.util.diagnostics`)
+===========  ===============================================================
+
+Suppression
+-----------
+
+Append ``# lint: ignore[CODE]`` (comma-separate several codes, or omit
+the bracket to suppress every code) to the offending line::
+
+    handle = open(path)  # lint: ignore[RPL102] — closed before fork
+
+Suppressions apply to the physical line of the finding only, and also
+silence external-tool findings reported for that line.
+
+Running
+-------
+
+``repro lint`` walks ``src/repro`` (or explicit paths), runs every
+checker plus ``ruff``/``mypy`` when installed (``--no-external`` skips
+them; missing tools degrade to a stderr note), prints findings as
+``path:line  CODE  message``, and exits 0.  ``repro lint --strict``
+exits 2 on any finding — the CI gate.  ``--select``/``--ignore`` take
+comma-separated code prefixes; ``--list-codes`` prints the table above.
+
+Programmatic surface: :func:`run_lint` returns the finding list;
+:class:`Finding` is the one record type; ``CHECKERS`` lists the checker
+classes in the order they run.
+"""
+
+from __future__ import annotations
+
+from .driver import CHECKERS, LintReport, lint_paths, run_lint
+from .findings import CODES, Finding, suppressed_codes
+
+__all__ = ["CHECKERS", "CODES", "Finding", "LintReport", "lint_paths",
+           "run_lint", "suppressed_codes"]

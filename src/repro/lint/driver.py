@@ -1,0 +1,153 @@
+"""The lint driver: load, check, suppress, report.
+
+:func:`run_lint` is the one entry point the CLI and CI call.  It loads
+each root into a :class:`~repro.lint.project.Project`, runs every
+registered checker, drops findings covered by ``# lint: ignore[...]``
+comments on their line, optionally runs the external tools, and returns
+a :class:`LintReport` the caller renders or serializes.
+
+Files that fail to parse are reported as findings (code ``RPL000``)
+rather than crashing the run — a lint gate that dies on the broken file
+it should be flagging is useless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .external import run_external
+from .findings import Finding, suppressed_codes
+from .fork_safety import ForkSafetyChecker
+from .mutable_defaults import MutableDefaultChecker
+from .no_print import NoPrintChecker
+from .project import Project
+from .registry_contract import RegistryContractChecker
+from .wire_identity import WireIdentityChecker
+
+#: Every custom checker, in report-stable order.
+CHECKERS = (
+    ForkSafetyChecker(),
+    MutableDefaultChecker(),
+    RegistryContractChecker(),
+    WireIdentityChecker(),
+    NoPrintChecker(),
+)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Human-readable degradations (external tool missing, ...).
+    notes: List[str] = field(default_factory=list)
+    #: Findings dropped by suppression comments (for ``--json`` and
+    #: the suppression tests).
+    suppressed: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self, relative_to: Optional[Path] = None) -> List[str]:
+        """Report lines, paths relativized when possible."""
+        lines: List[str] = []
+        for finding in sorted(self.findings,
+                              key=lambda f: f.sort_key()):
+            shown = finding.path
+            if relative_to is not None:
+                try:
+                    shown = str(
+                        Path(finding.path).resolve().relative_to(
+                            relative_to.resolve()))
+                except ValueError:
+                    pass
+            lines.append(finding.render(path=shown))
+        return lines
+
+    def to_json(self) -> Dict:
+        return {
+            "findings": [
+                {"path": f.path, "line": f.line,
+                 "code": f.display_code, "message": f.message}
+                for f in sorted(self.findings,
+                                key=lambda f: f.sort_key())],
+            "notes": list(self.notes),
+            "suppressed": len(self.suppressed),
+        }
+
+
+def _selected(finding: Finding, select: Optional[Sequence[str]],
+              ignore: Optional[Sequence[str]]) -> bool:
+    code = finding.display_code
+    if select:
+        if not any(code.startswith(prefix) for prefix in select):
+            return False
+    if ignore:
+        if any(code.startswith(prefix) for prefix in ignore):
+            return False
+    return True
+
+
+def _apply_suppressions(project: Project, findings: Iterable[Finding],
+                        report: LintReport,
+                        select: Optional[Sequence[str]],
+                        ignore: Optional[Sequence[str]]) -> None:
+    by_path = {str(module.path): module for module in project.modules}
+    for finding in findings:
+        if not _selected(finding, select, ignore):
+            continue
+        module = by_path.get(finding.path)
+        if module is not None:
+            suppression = suppressed_codes(module.line(finding.line))
+            if suppression is not None and suppression.covers(finding):
+                report.suppressed.append(finding)
+                continue
+        report.findings.append(finding)
+
+
+def lint_paths(roots: Sequence[Path]) -> List[Project]:
+    """Load each root (deduplicated, sorted) into a project."""
+    unique: List[Path] = []
+    seen = set()
+    for root in roots:
+        resolved = Path(root).resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(resolved)
+    return [Project.load(root) for root in unique]
+
+
+def run_lint(roots: Sequence[Path],
+             select: Optional[Sequence[str]] = None,
+             ignore: Optional[Sequence[str]] = None,
+             external: bool = True) -> LintReport:
+    """Run every checker over ``roots`` and return the report.
+
+    ``select``/``ignore`` are code *prefixes* (``RPL1`` covers the
+    whole fork-safety family; ``ruff:`` covers all ruff findings),
+    ignore winning over select.  ``external=False`` skips ruff/mypy
+    entirely (the unit tests and quick local runs).
+    """
+    report = LintReport()
+    projects = lint_paths(roots)
+    for project in projects:
+        for path, exc in project.broken:
+            finding = Finding(
+                path=str(path), line=exc.lineno or 1, code="RPL000",
+                message=f"file does not parse: {exc.msg}")
+            if _selected(finding, select, ignore):
+                report.findings.append(finding)
+        for checker in CHECKERS:
+            _apply_suppressions(project, checker.check(project),
+                                report, select, ignore)
+    if external:
+        findings, notes = run_external(
+            [project.root for project in projects])
+        report.notes.extend(notes)
+        for finding in findings:
+            if _selected(finding, select, ignore):
+                report.findings.append(finding)
+    return report

@@ -1,0 +1,125 @@
+"""Adapters for the external tools (``ruff``, ``mypy``).
+
+Both run under the same ``repro lint`` entry point so there is exactly
+one gate to pass, but neither is a hard dependency: availability is
+probed first (the import machinery, not a subprocess failure), and a
+missing tool degrades to a note in the report — the custom checkers
+still run.  CI installs both, so the full gate applies there; a bare
+container only loses the external findings.
+
+The tools' configuration lives in ``pyproject.toml`` (``[tool.ruff]``,
+``[tool.mypy]``); these adapters only invoke and parse.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from .findings import Finding
+
+#: ``path:line:col: CODE message`` (ruff concise output).
+_RUFF_LINE = re.compile(
+    r"^(?P<path>.+?):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<code>[A-Z]+\d+)\s+(?P<msg>.*)$")
+
+#: ``path:line: error: message  [code]`` (mypy default output).
+_MYPY_LINE = re.compile(
+    r"^(?P<path>.+?):(?P<line>\d+)(?::(?P<col>\d+))?:\s+"
+    r"(?P<severity>error|warning|note):\s+(?P<msg>.*?)"
+    r"(?:\s+\[(?P<code>[a-z0-9-]+)\])?$")
+
+
+def _available(module_name: str) -> bool:
+    try:
+        return importlib.util.find_spec(module_name) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def _run(argv: List[str], cwd: Optional[Path]) -> Tuple[str, str, int]:
+    proc = subprocess.run(
+        argv, cwd=cwd, capture_output=True, text=True, check=False)
+    return proc.stdout, proc.stderr, proc.returncode
+
+
+def run_ruff(roots: List[Path],
+             config_dir: Optional[Path] = None
+             ) -> Tuple[List[Finding], List[str]]:
+    """Run ruff over ``roots``; ``(findings, notes)``.
+
+    A missing tool or a crash (exit code other than 0/1) is a note,
+    never an exception — the custom checkers must not be hostage to the
+    external ones.
+    """
+    if not _available("ruff"):
+        return [], ["ruff not installed; skipping ruff checks "
+                    "(CI runs them)"]
+    argv = [sys.executable, "-m", "ruff", "check",
+            "--output-format", "concise",
+            *[str(root) for root in roots]]
+    stdout, stderr, returncode = _run(argv, config_dir)
+    if returncode not in (0, 1):
+        return [], [f"ruff failed (exit {returncode}): "
+                    f"{stderr.strip().splitlines()[-1] if stderr.strip() else 'no output'}"]
+    findings: List[Finding] = []
+    for raw in stdout.splitlines():
+        match = _RUFF_LINE.match(raw.strip())
+        if match is None:
+            continue
+        findings.append(Finding(
+            path=match.group("path"), line=int(match.group("line")),
+            code=match.group("code"), message=match.group("msg"),
+            tool="ruff", column=int(match.group("col"))))
+    return findings, []
+
+
+def run_mypy(roots: List[Path],
+             config_dir: Optional[Path] = None
+             ) -> Tuple[List[Finding], List[str]]:
+    """Run mypy over ``roots``; ``(findings, notes)`` — same
+    degradation contract as :func:`run_ruff`."""
+    if not _available("mypy"):
+        return [], ["mypy not installed; skipping mypy checks "
+                    "(CI runs them)"]
+    argv = [sys.executable, "-m", "mypy", "--no-error-summary",
+            *[str(root) for root in roots]]
+    stdout, stderr, returncode = _run(argv, config_dir)
+    if returncode not in (0, 1):
+        return [], [f"mypy failed (exit {returncode}): "
+                    f"{stderr.strip().splitlines()[-1] if stderr.strip() else 'no output'}"]
+    findings: List[Finding] = []
+    for raw in stdout.splitlines():
+        match = _MYPY_LINE.match(raw.strip())
+        if match is None or match.group("severity") != "error":
+            continue
+        findings.append(Finding(
+            path=match.group("path"), line=int(match.group("line")),
+            code=match.group("code") or "error",
+            message=match.group("msg"), tool="mypy",
+            column=int(match.group("col") or 0)))
+    return findings, []
+
+
+def run_external(roots: List[Path],
+                 config_dir: Optional[Path] = None
+                 ) -> Tuple[List[Finding], List[str]]:
+    """Both external tools; combined ``(findings, notes)``."""
+    findings: List[Finding] = []
+    notes: List[str] = []
+    for runner in (run_ruff, run_mypy):
+        tool_findings, tool_notes = runner(roots, config_dir)
+        findings.extend(tool_findings)
+        notes.extend(tool_notes)
+    return findings, notes
+
+
+def external_tools_status() -> Iterator[Tuple[str, bool]]:
+    """``(tool, available)`` for each external tool — for ``--json``
+    metadata and the availability tests."""
+    for tool in ("ruff", "mypy"):
+        yield tool, _available(tool)

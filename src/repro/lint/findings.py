@@ -1,0 +1,111 @@
+"""The one finding record, the code table, and suppression parsing.
+
+Every checker — custom or external — reports :class:`Finding` objects;
+the driver sorts them, drops the suppressed ones, and renders the
+``path:line  CODE  message`` report.  Suppressions are per-line
+``# lint: ignore[CODE1,CODE2]`` comments (bare ``# lint: ignore``
+silences every code on that line); :func:`suppressed_codes` parses one
+source line's suppression set.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+#: Every custom finding code with its one-line meaning (the
+#: ``--list-codes`` table; the full spec lives in ``repro.lint``'s
+#: docstring).  External tools report as ``ruff:<code>``/``mypy:<code>``.
+CODES = {
+    "RPL101": "threading primitive created in worker-reachable code of "
+              "a _FORK_STATE module",
+    "RPL102": "file handle/socket/pipe opened in worker-reachable code "
+              "of a _FORK_STATE module",
+    "RPL103": "legacy np.random/random global state referenced from "
+              "worker-reachable code",
+    "RPL104": "fork-unsafe resource stashed pre-fork on an object or "
+              "module global of a _FORK_STATE module",
+    "RPL201": "mutable function-parameter default",
+    "RPL202": "mutable dataclass field default (use default_factory)",
+    "RPL301": "registry entry does not statically implement its stage "
+              "protocol",
+    "RPL302": "MappingConfig engine sub-option field with no registered "
+              "engine of that name",
+    "RPL303": "registry factory return value cannot be resolved "
+              "statically",
+    "RPL401": "SAM/PAF record text assembled outside the registered "
+              "output renderers",
+    "RPL402": "wire tag/header literal outside the registered output "
+              "renderers",
+    "RPL501": "print() in a library module (use repro.util.diagnostics)",
+}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_:,\s-]*)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding, custom or external.
+
+    ``path`` is whatever the producing checker saw (the driver
+    relativizes for display); ``line`` is 1-based.  ``tool`` is
+    ``"repro"`` for the custom checkers, else the external tool name
+    (its code is then reported as ``tool:code``).
+    """
+
+    path: str
+    line: int
+    code: str
+    message: str
+    tool: str = "repro"
+    column: int = 0
+
+    @property
+    def display_code(self) -> str:
+        if self.tool == "repro":
+            return self.code
+        return f"{self.tool}:{self.code}"
+
+    def render(self, path: Optional[str] = None) -> str:
+        """The report line: ``path:line  CODE  message``."""
+        shown = path if path is not None else self.path
+        return f"{shown}:{self.line}  {self.display_code}  {self.message}"
+
+    def sort_key(self) -> Tuple:
+        return (self.path, self.line, self.column, self.display_code)
+
+
+@dataclass
+class Suppression:
+    """Codes silenced on one physical source line.
+
+    ``codes`` empty means *every* code is silenced (the bare
+    ``# lint: ignore`` form).
+    """
+
+    codes: FrozenSet[str] = field(default_factory=frozenset)
+
+    def covers(self, finding: Finding) -> bool:
+        if not self.codes:
+            return True
+        return (finding.code in self.codes
+                or finding.display_code in self.codes)
+
+
+def suppressed_codes(source_line: str) -> Optional[Suppression]:
+    """Parse one source line's ``# lint: ignore[...]`` comment.
+
+    Returns ``None`` when the line carries no suppression; otherwise a
+    :class:`Suppression` (empty code set = silence everything).
+    """
+    match = _SUPPRESS_RE.search(source_line)
+    if match is None:
+        return None
+    body = match.group(1)
+    if body is None:
+        return Suppression()
+    codes = frozenset(code.strip() for code in body.split(",")
+                      if code.strip())
+    return Suppression(codes=codes)

@@ -1,0 +1,311 @@
+"""Fork-safety checker (RPL101–RPL104).
+
+The streaming executor's whole design rests on one invariant: the
+pipeline snapshot registered in ``_FORK_STATE`` just before the worker
+pool forks — and every line of code a forked ``_stream_worker`` can
+reach — must be fork-safe.  A ``threading.Lock`` captured pre-fork is
+inherited *in whatever state it was in* (a child can deadlock on a lock
+no thread of its process holds); an open file or socket fd is shared
+with the parent (interleaved writes, double closes); the legacy
+``np.random``/``random`` module singletons make every child repeat the
+same "random" stream.  The one sanctioned shared handle is the
+memory-mapped index (``np.memmap`` is copy-on-write by design), which
+is why this checker has nothing to say about it.
+
+The checker activates only on modules that participate in the fork
+protocol — those defining ``_FORK_STATE`` or a ``_stream_worker``
+function (``core/pipeline.py`` in this repo).  There it:
+
+* computes the set of functions statically reachable from
+  ``_stream_worker`` (direct calls, ``self.method``/``obj.method``
+  calls resolved by name against the module's own functions and
+  methods, and instantiations of the module's classes), and flags
+  threading-primitive construction (RPL101), fd-opening calls
+  (RPL102), and legacy global-RNG references (RPL103) inside it;
+* independently scans every class of the module for attributes
+  assigned a fork-unsafe resource (``self.x = open(...)``,
+  ``threading.Lock()``, ``socket.socket(...)``, a freshly seeded
+  ``np.random`` generator) and module-level globals holding the same —
+  objects of these classes are exactly what gets stashed in
+  ``_FORK_STATE`` pre-fork (RPL104).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .findings import Finding
+from .project import Module, Project
+
+#: threading constructors whose instances must not cross a fork.
+_THREADING_PRIMITIVES = {
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Event", "Barrier", "Thread", "Timer", "local",
+}
+
+#: ``module.attr`` calls that open an OS-level file descriptor.
+_FD_OPENERS = {
+    ("socket", "socket"), ("socket", "create_connection"),
+    ("socket", "socketpair"), ("os", "open"), ("os", "pipe"),
+    ("os", "fdopen"), ("tempfile", "TemporaryFile"),
+    ("tempfile", "NamedTemporaryFile"), ("tempfile", "mkstemp"),
+    ("gzip", "open"), ("bz2", "open"), ("lzma", "open"),
+    ("io", "open"),
+}
+
+#: ``np.random`` attributes that do NOT touch the legacy global
+#: singleton (everything else does).
+_NP_RANDOM_SAFE = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64", "RandomState",
+}
+
+#: Legacy ``random`` module functions sharing the global Mersenne
+#: Twister instance.
+_RANDOM_GLOBALS = {
+    "random", "seed", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "normalvariate",
+    "betavariate", "expovariate", "getrandbits",
+}
+
+#: Calls whose *result stashed on an object* is fork-unsafe (RPL104):
+#: RNG instances on top of the fd openers and threading primitives —
+#: a generator captured pre-fork deals every worker the same stream.
+_RNG_FACTORIES = {("random", "default_rng"), ("random", "RandomState")}
+
+
+def _is_fork_module(module: Module) -> bool:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == "_FORK_STATE":
+                    return True
+        if isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name) \
+                and node.target.id == "_FORK_STATE":
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name == "_stream_worker":
+            return True
+    return False
+
+
+def _definitions(module: Module) -> Dict[str, List[ast.FunctionDef]]:
+    """Every function/method of the module, keyed by bare name (the
+    name-level approximation the reachability walk resolves against)."""
+    table: Dict[str, List[ast.FunctionDef]] = {}
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table.setdefault(node.name, []).append(node)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    table.setdefault(item.name, []).append(item)
+    return table
+
+
+def _class_names(module: Module) -> Set[str]:
+    return {node.name for node in module.tree.body
+            if isinstance(node, ast.ClassDef)}
+
+
+def _called_names(fn: ast.FunctionDef) -> Set[str]:
+    """Names this function may transfer control to, by the name-level
+    approximation: ``f(...)``, ``anything.f(...)``, and class
+    instantiations all contribute their terminal name."""
+    names: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                names.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                names.add(func.attr)
+    return names
+
+
+def _reachable(module: Module) -> List[ast.FunctionDef]:
+    """Functions statically reachable from ``_stream_worker``."""
+    table = _definitions(module)
+    classes = _class_names(module)
+    worklist: List[str] = ["_stream_worker"]
+    seen: Set[str] = set()
+    reached: List[ast.FunctionDef] = []
+    while worklist:
+        name = worklist.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for fn in table.get(name, []):
+            reached.append(fn)
+            for called in _called_names(fn):
+                if called in table or called in classes:
+                    worklist.append(called)
+                if called in classes:
+                    worklist.append("__init__")
+    return reached
+
+
+def _dotted(node: ast.expr) -> Tuple[str, ...]:
+    """``a.b.c`` as ``("a", "b", "c")`` (empty when not a name chain)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _threading_aliases(module: Module) -> Set[str]:
+    """Names bound to threading primitives via ``from threading import
+    Lock`` style imports."""
+    aliases: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "threading":
+            for alias in node.names:
+                if alias.name in _THREADING_PRIMITIVES:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+class _UnsafeCallScan:
+    """Classify one expression as a fork-unsafe construction, if any."""
+
+    def __init__(self, threading_aliases: Set[str]) -> None:
+        self.threading_aliases = threading_aliases
+
+    def classify(self, node: ast.expr):
+        """``(code, label)`` when ``node`` constructs a fork-unsafe
+        resource, else ``None``."""
+        if not isinstance(node, ast.Call):
+            return None
+        chain = _dotted(node.func)
+        if not chain:
+            return None
+        name = chain[-1]
+        if len(chain) >= 2 and chain[-2] == "threading" \
+                and name in _THREADING_PRIMITIVES:
+            return "RPL101", f"threading.{name}()"
+        if len(chain) == 1 and name in self.threading_aliases:
+            return "RPL101", f"threading.{name}()"
+        if chain == ("open",) or chain[-2:] in _FD_OPENERS:
+            return "RPL102", ".".join(chain) + "()"
+        if chain[-2:] in _RNG_FACTORIES and len(chain) >= 2:
+            return "RNG", ".".join(chain) + "()"
+        return None
+
+
+def _legacy_rng_uses(fn: ast.FunctionDef) -> Iterator[Tuple[int, str]]:
+    """``np.random.X`` / ``random.X`` global-state references."""
+    for node in ast.walk(fn):
+        chain = ()
+        if isinstance(node, ast.Attribute):
+            chain = _dotted(node)
+        if len(chain) == 3 and chain[0] in ("np", "numpy") \
+                and chain[1] == "random" \
+                and chain[2] not in _NP_RANDOM_SAFE:
+            yield node.lineno, f"{'.'.join(chain)}"
+        elif len(chain) == 2 and chain[0] == "random" \
+                and chain[1] in _RANDOM_GLOBALS:
+            yield node.lineno, f"{'.'.join(chain)}"
+
+
+class ForkSafetyChecker:
+    """RPL101–RPL104 over the modules participating in the fork pool."""
+
+    codes = ("RPL101", "RPL102", "RPL103", "RPL104")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not _is_fork_module(module):
+                continue
+            yield from self._check_worker_reachable(module)
+            yield from self._check_prefork_stash(module)
+
+    # -- worker-reachable code (RPL101/102/103) -----------------------------
+
+    def _check_worker_reachable(self, module: Module
+                                ) -> Iterator[Finding]:
+        scan = _UnsafeCallScan(_threading_aliases(module))
+        for fn in _reachable(module):
+            for node in ast.walk(fn):
+                verdict = scan.classify(node)
+                if verdict is not None:
+                    code, label = verdict
+                    if code == "RNG":
+                        continue  # creating a fresh generator is safe
+                    kind = ("threading primitive"
+                            if code == "RPL101" else "file descriptor")
+                    yield Finding(
+                        path=str(module.path), line=node.lineno,
+                        code=code,
+                        message=f"{label} creates a {kind} in code "
+                                f"reachable from _stream_worker "
+                                f"({fn.name}); it would be shared "
+                                "across the fork boundary")
+            for line, label in _legacy_rng_uses(fn):
+                yield Finding(
+                    path=str(module.path), line=line, code="RPL103",
+                    message=f"{label} uses global RNG state in code "
+                            f"reachable from _stream_worker "
+                            f"({fn.name}); every forked worker "
+                            "inherits and repeats the same stream — "
+                            "use a per-worker np.random.default_rng")
+
+    # -- pre-fork stash (RPL104) --------------------------------------------
+
+    def _check_prefork_stash(self, module: Module) -> Iterator[Finding]:
+        scan = _UnsafeCallScan(_threading_aliases(module))
+
+        def classify_stash(value: ast.expr):
+            verdict = scan.classify(value)
+            if verdict is None:
+                return None
+            code, label = verdict
+            return label  # any unsafe construction is a bad stash
+
+        for node in module.tree.body:
+            # Module-level globals: inherited by every forked child.
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if value is not None:
+                    label = classify_stash(value)
+                    if label is not None:
+                        yield Finding(
+                            path=str(module.path), line=node.lineno,
+                            code="RPL104",
+                            message=f"module-level {label} in a "
+                                    "_FORK_STATE module is inherited "
+                                    "by every forked worker")
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in ast.walk(node):
+                if not isinstance(item, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = item.value
+                if value is None:
+                    continue
+                targets = item.targets if isinstance(item, ast.Assign) \
+                    else [item.target]
+                stashes_self = any(
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self" for t in targets)
+                if not stashes_self:
+                    continue
+                label = classify_stash(value)
+                if label is not None:
+                    yield Finding(
+                        path=str(module.path), line=item.lineno,
+                        code="RPL104",
+                        message=f"{node.name} stashes {label} on the "
+                                "instance; objects of a _FORK_STATE "
+                                "module are captured pre-fork, and "
+                                "this resource cannot cross the fork "
+                                "boundary (the shared mmap is the one "
+                                "sanctioned handle)")

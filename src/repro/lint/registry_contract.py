@@ -1,0 +1,275 @@
+"""Registry-contract checker (RPL301–RPL303).
+
+The registries (:data:`~repro.api.registry.ENGINES`,
+``OUTPUT_FORMATS``, ``FILTER_CHAINS``, ``ALIGNERS``) are duck-typed on
+purpose — a factory returns *any* object honouring the stage protocol —
+which means a drifted entry (an engine missing ``fresh_stats``, an
+aligner whose ``align`` grew an extra required argument) only explodes
+at run time, on the first request that exercises it.  This checker
+closes that gap statically:
+
+* each ``@REGISTRY.register("name")`` factory's return value is
+  resolved to its class (through module- and function-scope imports,
+  within the linted tree) and checked against the registry's protocol
+  table — required methods must exist (an inherited body that only
+  raises ``NotImplementedError`` does not count) with call-compatible
+  positional arity (RPL301; an unresolvable return is RPL303, because
+  an uncheckable contract is itself a defect);
+* ``OUTPUT_FORMATS`` factories must construct the format object with
+  every renderer argument (``header``, ``records``, ``writer`` —
+  wire/file byte-identity needs all three from one definition)
+  (RPL301);
+* every ``MappingConfig`` field typed as an engine sub-option class
+  (``*Options``) must name a registered engine key, so options can
+  never exist without an engine consuming them (RPL302).
+
+The checker activates only when the linted tree contains an
+``api/registry.py``; fixture mini-projects in the tests provide their
+own.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .findings import Finding
+from .project import (Module, Project, is_abstract_body,
+                      positional_arity)
+
+#: Required protocol methods per registry: name -> positional arity
+#: (excluding ``self``) a caller passes.
+_ENGINE_PROTOCOL = {"begin_run": 0, "map_stream": 1, "run_stats": 0,
+                    "fresh_stats": 0}
+_ALIGNER_PROTOCOL = {"align": 3}
+_FILTER_PROTOCOL = {"__call__": 3, "__len__": 0}
+
+_PROTOCOLS = {
+    "ENGINES": _ENGINE_PROTOCOL,
+    "ALIGNERS": _ALIGNER_PROTOCOL,
+    "FILTER_CHAINS": _FILTER_PROTOCOL,
+}
+
+_REGISTRY_NAMES = ("ENGINES", "OUTPUT_FORMATS", "FILTER_CHAINS",
+                   "ALIGNERS")
+
+_OPTIONS_ANNOTATION = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*)Options\b")
+
+
+class Registration:
+    """One ``@REGISTRY.register("name")`` factory."""
+
+    def __init__(self, registry: str, entry: str,
+                 factory: ast.FunctionDef) -> None:
+        self.registry = registry
+        self.entry = entry
+        self.factory = factory
+
+
+def _registrations(module: Module) -> List[Registration]:
+    out: List[Registration] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for decorator in node.decorator_list:
+            if not isinstance(decorator, ast.Call):
+                continue
+            func = decorator.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "register"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in _REGISTRY_NAMES):
+                continue
+            if decorator.args and isinstance(decorator.args[0],
+                                             ast.Constant):
+                entry = str(decorator.args[0].value)
+            else:
+                entry = node.name
+            out.append(Registration(func.value.id, entry, node))
+    return out
+
+
+def _returned_call(factory: ast.FunctionDef) -> Optional[ast.Call]:
+    """The ``Call`` a factory returns — following one level of local
+    assignment (``x = Cls(...); return x``)."""
+    assigned: Dict[str, ast.expr] = {}
+    for node in ast.walk(factory):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            assigned[node.targets[0].id] = node.value
+    for node in ast.walk(factory):
+        if isinstance(node, ast.Return) and node.value is not None:
+            value = node.value
+            if isinstance(value, ast.Name):
+                value = assigned.get(value.id, value)
+            if isinstance(value, ast.Call):
+                return value
+    return None
+
+
+def _call_class_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+class RegistryContractChecker:
+    """RPL301–RPL303 over the registry and config modules."""
+
+    codes = ("RPL301", "RPL302", "RPL303")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        registry = project.find_module("api/registry.py")
+        if registry is None:
+            return
+        registrations = _registrations(registry)
+        engine_keys: Set[str] = {
+            reg.entry for reg in registrations
+            if reg.registry == "ENGINES"}
+        for reg in registrations:
+            if reg.registry == "OUTPUT_FORMATS":
+                yield from self._check_output_format(project, registry,
+                                                     reg)
+            elif reg.registry in _PROTOCOLS:
+                yield from self._check_protocol(project, registry, reg)
+        yield from self._check_engine_options(project, engine_keys)
+
+    # -- protocol-backed registries -----------------------------------------
+
+    def _check_protocol(self, project: Project, registry: Module,
+                        reg: Registration) -> Iterator[Finding]:
+        protocol = _PROTOCOLS[reg.registry]
+        call = _returned_call(reg.factory)
+        class_name = _call_class_name(call) if call is not None else None
+        if class_name is None:
+            yield Finding(
+                path=str(registry.path), line=reg.factory.lineno,
+                code="RPL303",
+                message=f"{reg.registry} entry {reg.entry!r}: cannot "
+                        "statically resolve what the factory returns; "
+                        "return a class instance directly so the "
+                        "contract stays checkable")
+            return
+        resolved = project.resolve_name(registry, class_name,
+                                        scopes=(reg.factory,))
+        if resolved is None:
+            yield Finding(
+                path=str(registry.path), line=reg.factory.lineno,
+                code="RPL303",
+                message=f"{reg.registry} entry {reg.entry!r}: returned "
+                        f"class {class_name!r} is not defined inside "
+                        "the linted tree, so its protocol cannot be "
+                        "verified")
+            return
+        def_module, cls = resolved
+        methods = project.methods(def_module, cls)
+        for method_name, arity in protocol.items():
+            fn = methods.get(method_name)
+            if fn is None or is_abstract_body(fn):
+                state = "is abstract" if fn is not None else "is missing"
+                yield Finding(
+                    path=str(registry.path), line=reg.factory.lineno,
+                    code="RPL301",
+                    message=f"{reg.registry} entry {reg.entry!r}: "
+                            f"{class_name}.{method_name} {state} "
+                            f"(required by the "
+                            f"{reg.registry.lower().rstrip('s')} "
+                            "protocol)")
+                continue
+            minimum, maximum = positional_arity(fn)
+            if arity < minimum or (maximum is not None
+                                   and arity > maximum):
+                bound = f"{minimum}" if maximum == minimum \
+                    else f"{minimum}..{maximum or 'inf'}"
+                yield Finding(
+                    path=str(def_module.path), line=fn.lineno,
+                    code="RPL301",
+                    message=f"{reg.registry} entry {reg.entry!r}: "
+                            f"{class_name}.{method_name} accepts "
+                            f"{bound} positional argument(s) but the "
+                            f"protocol calls it with {arity}")
+
+    # -- output formats ------------------------------------------------------
+
+    def _check_output_format(self, project: Project, registry: Module,
+                             reg: Registration) -> Iterator[Finding]:
+        call = _returned_call(reg.factory)
+        class_name = _call_class_name(call) if call is not None else None
+        if call is None or class_name is None:
+            yield Finding(
+                path=str(registry.path), line=reg.factory.lineno,
+                code="RPL303",
+                message=f"OUTPUT_FORMATS entry {reg.entry!r}: cannot "
+                        "statically resolve the constructed format "
+                        "object")
+            return
+        resolved = project.resolve_name(registry, class_name,
+                                        scopes=(reg.factory,))
+        if resolved is None:
+            yield Finding(
+                path=str(registry.path), line=reg.factory.lineno,
+                code="RPL303",
+                message=f"OUTPUT_FORMATS entry {reg.entry!r}: format "
+                        f"class {class_name!r} is not defined inside "
+                        "the linted tree")
+            return
+        def_module, cls = resolved
+        init = project.methods(def_module, cls).get("__init__")
+        if init is None:
+            return
+        params = [arg.arg for arg in init.args.args[1:]]
+        required = params[: len(params) - len(init.args.defaults)]
+        supplied = set(params[: len(call.args)])
+        supplied.update(kw.arg for kw in call.keywords
+                        if kw.arg is not None)
+        missing = [name for name in required if name not in supplied]
+        if missing:
+            yield Finding(
+                path=str(registry.path), line=call.lineno,
+                code="RPL301",
+                message=f"OUTPUT_FORMATS entry {reg.entry!r}: "
+                        f"{class_name}(...) is missing required "
+                        f"argument(s) {', '.join(missing)} — every "
+                        "renderer must come from the one registered "
+                        "definition (wire/file byte-identity)")
+
+    # -- engine sub-options --------------------------------------------------
+
+    def _check_engine_options(self, project: Project,
+                              engine_keys: Set[str]
+                              ) -> Iterator[Finding]:
+        config = project.find_module("api/config.py")
+        if config is None:
+            return
+        for module, cls in self._mapping_configs(config):
+            for item in cls.body:
+                if not isinstance(item, ast.AnnAssign) \
+                        or not isinstance(item.target, ast.Name):
+                    continue
+                annotation = ast.unparse(item.annotation)
+                match = _OPTIONS_ANNOTATION.search(annotation)
+                if match is None:
+                    continue
+                field_name = item.target.id
+                if field_name not in engine_keys:
+                    available = ", ".join(sorted(engine_keys)) \
+                        or "(none)"
+                    yield Finding(
+                        path=str(module.path), line=item.lineno,
+                        code="RPL302",
+                        message=f"MappingConfig.{field_name} carries "
+                                f"{match.group(0)} but no engine "
+                                f"{field_name!r} is registered "
+                                f"(available: {available}); the "
+                                "options would be silently inert")
+
+    @staticmethod
+    def _mapping_configs(config: Module
+                         ) -> Iterator[Tuple[Module, ast.ClassDef]]:
+        for node in ast.walk(config.tree):
+            if isinstance(node, ast.ClassDef) \
+                    and node.name == "MappingConfig":
+                yield config, node

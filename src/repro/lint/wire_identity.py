@@ -1,0 +1,170 @@
+"""Wire-identity checker (RPL401/RPL402).
+
+The serve daemon's contract is that a record's wire line and its file
+line are the *same bytes*, which the codebase guarantees by
+construction: exactly one place knows how to render each format — the
+registered renderer modules ``genome/sam.py``, ``genome/paf.py``, and
+``genome/jsonl.py``.  A second formatter anywhere else starts correct
+and then silently drifts (a tag added to one, a column reordered in the
+other), and nothing fails until a downstream consumer diffs the two.
+This checker makes the single-renderer rule structural:
+
+* RPL401 — a ``"\\t".join(...)`` call (or an f-string containing a tab)
+  inside a scope that also references two or more mapping-record
+  attributes (``query_name``, ``mapq``, ``cigar``, ...) outside the
+  renderer modules.  The record-attribute gate is what keeps ordinary
+  tab-joined text (TSV debug dumps, VCF emission) out of scope: only
+  code assembling *mapping record* columns is flagged.
+* RPL402 — a string constant carrying a renderer-owned wire marker
+  (the ``AS:i:``/``XM:Z:``/``cg:Z:`` tags, the ``@HD``/``@SQ`` header
+  prefixes) outside the renderer modules.  Docstrings are exempt —
+  documentation may quote the wire format.
+
+The ``lint/`` subtree itself is also exempt: this checker's own source
+necessarily contains the marker literals it searches for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from .findings import Finding
+from .project import Module, Project
+
+#: Modules allowed to render record text, by root-relative suffix.
+_RENDERER_SUFFIXES = ("genome/sam.py", "genome/paf.py",
+                      "genome/jsonl.py")
+
+#: Subtrees exempt wholesale (the checker's own sources quote markers).
+_EXEMPT_PREFIXES = ("lint/",)
+
+#: Mapping-record attributes whose co-occurrence with tab-joining marks
+#: record formatting (deliberately excludes ``chromosome``/``position``/
+#: ``strand`` — those are generic genomics fields VCF writing also
+#: touches).
+_RECORD_ATTRS = {
+    "query_name", "mapq", "cigar", "template_length", "proper_pair",
+    "to_sam_line", "mate_chromosome", "read_codes",
+}
+
+#: Wire markers owned by the renderers.
+_WIRE_MARKERS = ("AS:i:", "XM:Z:", "cg:Z:", "@HD\t", "@SQ\t")
+
+
+def _is_renderer(module: Module) -> bool:
+    rel = module.rel_path
+    if any(rel == s or rel.endswith("/" + s)
+           for s in _RENDERER_SUFFIXES):
+        return True
+    return any(rel.startswith(p) or ("/" + p) in rel
+               for p in _EXEMPT_PREFIXES)
+
+
+def _scopes(module: Module) -> Iterator[ast.AST]:
+    """Each function/method body plus the module top level — the
+    granularity at which record-attribute co-occurrence is judged."""
+    functions: List[ast.AST] = [
+        node for node in ast.walk(module.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda))]
+    yield from functions
+    yield module.tree
+
+
+def _record_attrs_used(scope: ast.AST) -> Set[str]:
+    used: Set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Attribute) \
+                and node.attr in _RECORD_ATTRS:
+            used.add(node.attr)
+        elif isinstance(node, ast.Name) and node.id in _RECORD_ATTRS:
+            used.add(node.id)
+    return used
+
+
+def _tab_format_sites(scope: ast.AST) -> Iterator[Tuple[int, str]]:
+    """``(line, label)`` for each tab-joining site in the scope."""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "join" \
+                and isinstance(node.func.value, ast.Constant) \
+                and node.func.value.value == "\t":
+            yield node.lineno, '"\\t".join(...)'
+        elif isinstance(node, ast.JoinedStr):
+            for part in node.values:
+                if isinstance(part, ast.Constant) \
+                        and isinstance(part.value, str) \
+                        and "\t" in part.value:
+                    yield node.lineno, "tab-separated f-string"
+                    break
+
+
+def _docstring_constants(tree: ast.AST) -> Set[int]:
+    """Line numbers of docstring constants (exempt from RPL402)."""
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)) and node.body:
+            first = node.body[0]
+            if isinstance(first, ast.Expr) \
+                    and isinstance(first.value, ast.Constant) \
+                    and isinstance(first.value.value, str):
+                end = first.value.end_lineno or first.value.lineno
+                lines.update(range(first.value.lineno, end + 1))
+    return lines
+
+
+class WireIdentityChecker:
+    """RPL401/RPL402 over every non-renderer module."""
+
+    codes = ("RPL401", "RPL402")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if _is_renderer(module):
+                continue
+            yield from self._check_record_formatting(module)
+            yield from self._check_wire_markers(module)
+
+    def _check_record_formatting(self, module: Module
+                                 ) -> Iterator[Finding]:
+        seen: Set[int] = set()
+        for scope in _scopes(module):
+            attrs = _record_attrs_used(scope)
+            if len(attrs) < 2:
+                continue
+            for line, label in _tab_format_sites(scope):
+                if line in seen:
+                    continue
+                seen.add(line)
+                sample = ", ".join(sorted(attrs)[:3])
+                yield Finding(
+                    path=str(module.path), line=line, code="RPL401",
+                    message=f"{label} next to mapping-record fields "
+                            f"({sample}) outside the registered "
+                            "renderers; record text must come from "
+                            "genome/sam.py, genome/paf.py, or "
+                            "genome/jsonl.py so wire and file bytes "
+                            "stay identical")
+
+    def _check_wire_markers(self, module: Module) -> Iterator[Finding]:
+        doc_lines = _docstring_constants(module.tree)
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)):
+                continue
+            if node.lineno in doc_lines:
+                continue
+            marker = next((m for m in _WIRE_MARKERS
+                           if m in node.value), None)
+            if marker is None:
+                continue
+            shown = marker.replace("\t", "\\t")
+            yield Finding(
+                path=str(module.path), line=node.lineno, code="RPL402",
+                message=f"wire marker {shown!r} in a string constant "
+                        "outside the registered renderers; only the "
+                        "genome/{sam,paf,jsonl}.py modules may emit "
+                        "format markers")

@@ -1,5 +1,6 @@
 """Shared utilities for benches and examples."""
 
+from .diagnostics import note, warn
 from .tables import format_table, paper_vs_measured
 
-__all__ = ["format_table", "paper_vs_measured"]
+__all__ = ["format_table", "note", "paper_vs_measured", "warn"]

@@ -1,0 +1,22 @@
+"""The one stderr diagnostics channel for library code.
+
+Library modules must never ``print()``: for the serve daemon, stdout
+*is* the wire, and a stray diagnostic interleaved with record output
+corrupts the stream (``repro lint`` enforces this as RPL501).  Every
+human-directed note from below the CLI goes through here instead —
+one format, one stream, one place to redirect in tests.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def note(message: str) -> None:
+    """An informational note on stderr (``note: ...``)."""
+    sys.stderr.write(f"note: {message}\n")
+
+
+def warn(message: str) -> None:
+    """A warning on stderr (``warning: ...``)."""
+    sys.stderr.write(f"warning: {message}\n")

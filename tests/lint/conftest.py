@@ -1,0 +1,18 @@
+"""Shared helpers for the lint tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# Pytest must never collect the fixture sources as test modules (some
+# are deliberately broken code).
+collect_ignore = ["fixtures"]
+
+
+@pytest.fixture(scope="session")
+def fixtures():
+    return FIXTURES

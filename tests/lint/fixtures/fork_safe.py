@@ -1,0 +1,27 @@
+"""A fork module doing everything right — zero findings expected."""
+
+import numpy as np
+
+_FORK_STATE = {}
+
+
+class PipelineLike:
+    def __init__(self, index_path):
+        # The one sanctioned shared handle: copy-on-write mmap.
+        self.index = np.memmap(index_path, dtype=np.uint64, mode="r")
+        self.rng_seed = 1234
+
+    def _map_chunk(self, items):
+        # Fresh per-call generator: no global state crosses the fork.
+        rng = np.random.default_rng(self.rng_seed)
+        return [int(self.index[i % len(self.index)]) + int(rng.integers(4))
+                for i, _ in enumerate(items)]
+
+
+def _stream_worker(token, tasks, results):
+    pipeline = _FORK_STATE[token]
+    while True:
+        work = tasks.get()
+        if work is None:
+            break
+        results.put(pipeline._map_chunk(work))

@@ -1,0 +1,32 @@
+"""Seeded fork-safety violations (every RPL1xx code fires here)."""
+
+import threading
+
+import numpy as np
+
+_FORK_STATE = {}
+
+
+class PipelineLike:
+    def __init__(self, path):
+        self.lock = threading.Lock()        # RPL104: pre-fork stash
+        self.log = open(path, "a")          # RPL104: open fd stashed
+
+    def _map_chunk(self, items):
+        handle = open("debug.log", "a")     # RPL102: reachable fd open
+        guard = threading.Lock()            # RPL101: reachable primitive
+        noise = np.random.uniform()         # RPL103: legacy global RNG
+        handle.write(str((guard, noise)))
+        return [self._score(item) for item in items]
+
+    def _score(self, item):
+        return np.random.randint(0, 4)      # RPL103: via _map_chunk
+
+
+def _stream_worker(token, tasks, results):
+    pipeline = PipelineLike("x.log")
+    while True:
+        work = tasks.get()
+        if work is None:
+            break
+        results.put(pipeline._map_chunk(work))

@@ -1,0 +1,29 @@
+"""Seeded mutable-default violations (RPL201/RPL202)."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def collect(item, bucket=[]):            # RPL201: list literal
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}, *, seen=set()):  # RPL201 twice
+    counts[key] = counts.get(key, 0) + 1
+    seen.add(key)
+    return counts
+
+
+def window(size, buffer=np.zeros(16)):   # RPL201: shared ndarray
+    return buffer[:size]
+
+
+@dataclass
+class Stats:
+    hits: list = field(default=[])       # RPL202: field(default=list)
+    scores: dict = {}                    # RPL202: raw dict literal
+    weights: "np.ndarray" = np.ones(8)   # RPL202: shared ndarray
+    name: str = "ok"                     # fine
+    codes: list = field(default_factory=list)  # fine: the sanctioned form

@@ -1,0 +1,19 @@
+"""Mutable-default-free code — zero findings expected."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def collect(item, bucket: Optional[list] = None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+@dataclass
+class Stats:
+    hits: list = field(default_factory=list)
+    counts: dict = field(default_factory=dict)
+    name: str = "ok"
+    threshold: int = 500

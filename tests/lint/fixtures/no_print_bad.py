@@ -1,0 +1,12 @@
+"""A library module that prints (RPL501)."""
+
+
+def chatty(value):
+    print("mapped", value)          # RPL501
+    return value
+
+
+def quiet(value):
+    import sys
+    sys.stderr.write("note: ok\n")  # fine: explicit stderr
+    return value

@@ -1,0 +1,21 @@
+"""Config module for the registry-contract fixture project."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class GoodOptions:
+    depth: int = 4
+
+
+@dataclass
+class GhostOptions:
+    width: int = 8
+
+
+@dataclass
+class MappingConfig:
+    engine: str = "good"
+    good: Optional[GoodOptions] = None
+    ghost: Optional[GhostOptions] = None  # RPL302: no 'ghost' engine

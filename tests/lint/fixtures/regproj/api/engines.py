@@ -1,0 +1,69 @@
+"""Engine classes for the registry-contract fixture project."""
+
+
+class Engine:
+    """The protocol base: required methods abstract, hooks no-op."""
+
+    def begin_run(self):
+        raise NotImplementedError
+
+    def map_stream(self, items):
+        raise NotImplementedError
+
+    def run_stats(self):
+        raise NotImplementedError
+
+    def fresh_stats(self):
+        raise NotImplementedError
+
+    def finish_run(self):
+        pass
+
+
+class GoodEngine(Engine):
+    def begin_run(self):
+        return None
+
+    def map_stream(self, items):
+        return iter(items)
+
+    def run_stats(self):
+        return {}
+
+    def fresh_stats(self):
+        return {}
+
+
+class BrokenEngine(Engine):
+    """Misses ``fresh_stats`` (inherits the abstract one) and takes a
+    required positional in ``begin_run`` — both RPL301."""
+
+    def begin_run(self, mode):
+        return mode
+
+    def map_stream(self, items):
+        return iter(items)
+
+    def run_stats(self):
+        return {}
+
+
+class GoodAligner:
+    def align(self, read, window, offset):
+        return (read, window, offset)
+
+
+class NarrowAligner:
+    """``align`` arity drifted (RPL301)."""
+
+    def align(self, read):
+        return read
+
+
+class Format:
+    def __init__(self, name, suffix, header, records, writer):
+        self.name = name
+        self.suffix = suffix
+        self.header = header
+        self.records = records
+        self.writer = writer

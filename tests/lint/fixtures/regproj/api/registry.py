@@ -1,0 +1,66 @@
+"""Registry module for the registry-contract fixture project."""
+
+
+class StageRegistry:
+    def __init__(self):
+        self._factories = {}
+
+    def register(self, name):
+        def wrap(factory):
+            self._factories[name] = factory
+            return factory
+        return wrap
+
+
+ENGINES = StageRegistry()
+ALIGNERS = StageRegistry()
+OUTPUT_FORMATS = StageRegistry()
+FILTER_CHAINS = StageRegistry()
+
+
+@ENGINES.register("good")
+def _good_engine(config):
+    from .engines import GoodEngine
+    return GoodEngine()
+
+
+@ENGINES.register("broken")
+def _broken_engine(config):
+    from .engines import BrokenEngine
+    return BrokenEngine()
+
+
+@ENGINES.register("opaque")
+def _opaque_engine(config):
+    # RPL303: built through a helper the checker cannot resolve.
+    return config.build()
+
+
+@ALIGNERS.register("good")
+def _good_aligner(config):
+    from .engines import GoodAligner
+    return GoodAligner()
+
+
+@ALIGNERS.register("narrow")
+def _narrow_aligner(config):
+    from .engines import NarrowAligner
+    return NarrowAligner()
+
+
+@OUTPUT_FORMATS.register("sam")
+def _sam_format(config):
+    from .engines import Format
+    return Format("sam", ".sam", header=_noop, records=_noop,
+                  writer=_noop)
+
+
+@OUTPUT_FORMATS.register("halfsam")
+def _halfsam_format(config):
+    # RPL301: no writer — wire and file renderers would diverge.
+    from .engines import Format
+    return Format("halfsam", ".sam", header=_noop, records=_noop)
+
+
+def _noop(*args):
+    return None

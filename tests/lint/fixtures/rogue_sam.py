@@ -1,0 +1,25 @@
+"""A seeded rogue SAM formatter (RPL401/RPL402) — the exact drift the
+wire-identity rule exists to prevent: a second place assembling record
+text."""
+
+
+def format_record(record):
+    # RPL401: tab-joining mapping-record fields outside the renderers.
+    fields = [record.query_name, str(record.mapq), record.cigar,
+              str(record.template_length)]
+    return "\t".join(fields)
+
+
+def format_record_fstring(record):
+    # RPL401: same offence via an f-string.
+    return f"{record.query_name}\t{record.mapq}\t{record.cigar}"
+
+
+def tag_line(score):
+    # RPL402: renderer-owned tag marker in a string constant.
+    return "AS:i:" + str(score)
+
+
+def header():
+    # RPL402: SAM header prefix outside the renderers.
+    return "@HD\tVN:1.6"

@@ -1,0 +1,99 @@
+"""Driver behavior: suppression, selection, broken files, and the
+repo-clean-at-HEAD gate."""
+
+from pathlib import Path
+
+import repro
+from repro.lint import CODES, run_lint
+from repro.lint.findings import Finding, suppressed_codes
+
+
+def _write(tmp_path, name, text):
+    target = tmp_path / name
+    target.write_text(text)
+    return target
+
+
+class TestSuppression:
+    def test_bare_ignore_silences_everything(self, tmp_path):
+        target = _write(tmp_path, "mod.py",
+                        "def f(x, acc=[]):  # lint: ignore\n"
+                        "    return acc\n")
+        report = run_lint([target], external=False)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_coded_ignore_matches(self, tmp_path):
+        target = _write(tmp_path, "mod.py",
+                        "def f(x, acc=[]):  # lint: ignore[RPL201]\n"
+                        "    return acc\n")
+        assert run_lint([target], external=False).findings == []
+
+    def test_wrong_code_does_not_silence(self, tmp_path):
+        target = _write(tmp_path, "mod.py",
+                        "def f(x, acc=[]):  # lint: ignore[RPL501]\n"
+                        "    return acc\n")
+        report = run_lint([target], external=False)
+        assert [f.code for f in report.findings] == ["RPL201"]
+
+    def test_parser(self):
+        assert suppressed_codes("x = 1") is None
+        bare = suppressed_codes("x = 1  # lint: ignore")
+        assert bare is not None and bare.codes == frozenset()
+        coded = suppressed_codes("x = 1  # lint: ignore[RPL101, RPL501]")
+        assert coded.codes == {"RPL101", "RPL501"}
+        assert coded.covers(Finding("p", 1, "RPL101", "m"))
+        assert not coded.covers(Finding("p", 1, "RPL201", "m"))
+
+
+class TestSelection:
+    def test_select_prefix(self, fixtures):
+        report = run_lint([fixtures / "fork_unsafe.py"],
+                          select=["RPL103"], external=False)
+        assert {f.code for f in report.findings} == {"RPL103"}
+
+    def test_ignore_wins_over_select(self, fixtures):
+        report = run_lint([fixtures / "fork_unsafe.py"],
+                          select=["RPL1"], ignore=["RPL103", "RPL104"],
+                          external=False)
+        assert {f.code for f in report.findings} == {"RPL101", "RPL102"}
+
+
+class TestBrokenFiles:
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        _write(tmp_path, "broken.py", "def f(:\n")
+        report = run_lint([tmp_path], external=False)
+        assert [f.code for f in report.findings] == ["RPL000"]
+        assert "does not parse" in report.findings[0].message
+
+
+class TestReport:
+    def test_render_is_sorted_and_formatted(self, fixtures):
+        report = run_lint([fixtures / "fork_unsafe.py"],
+                          external=False)
+        lines = report.render()
+        assert lines == sorted(lines)
+        assert all("  RPL" in line for line in lines)
+
+    def test_json_shape(self, fixtures):
+        report = run_lint([fixtures / "no_print_bad.py"],
+                          external=False)
+        payload = report.to_json()
+        assert set(payload) == {"findings", "notes", "suppressed"}
+        assert payload["findings"][0]["code"] == "RPL501"
+
+    def test_code_table_complete(self):
+        """Every code a checker can emit is documented."""
+        from repro.lint.driver import CHECKERS
+        emitted = {code for checker in CHECKERS
+                   for code in checker.codes}
+        assert emitted <= set(CODES)
+
+
+class TestRepoCleanAtHead:
+    def test_package_is_lint_clean(self):
+        """The acceptance gate: zero custom findings over the real
+        package.  Any regression lands here before it lands in CI."""
+        package = Path(repro.__file__).parent
+        report = run_lint([package], external=False)
+        assert report.render() == []

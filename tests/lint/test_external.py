@@ -1,0 +1,58 @@
+"""External tool adapters: parsing and the degrade-to-note contract."""
+
+from pathlib import Path
+
+from repro.lint.external import (_MYPY_LINE, _RUFF_LINE, run_external,
+                                 run_mypy, run_ruff)
+
+
+class TestParsers:
+    def test_ruff_line(self):
+        match = _RUFF_LINE.match(
+            "src/repro/cli.py:12:5: F821 Undefined name `foo`")
+        assert match is not None
+        assert match.group("code") == "F821"
+        assert match.group("line") == "12"
+
+    def test_mypy_line(self):
+        match = _MYPY_LINE.match(
+            'src/repro/cli.py:30: error: Incompatible types  '
+            '[assignment]')
+        assert match is not None
+        assert match.group("code") == "assignment"
+        assert match.group("severity") == "error"
+
+    def test_mypy_note_line_matches_but_is_filtered(self):
+        match = _MYPY_LINE.match(
+            "src/repro/cli.py:30: note: See docs")
+        assert match is not None
+        assert match.group("severity") == "note"
+
+
+class TestDegradation:
+    """Whether or not the tools are installed, the adapters never
+    raise; missing tools become notes and the custom checkers keep
+    their say."""
+
+    def test_run_external_never_raises(self):
+        findings, notes = run_external([Path("src/repro")])
+        assert isinstance(findings, list)
+        assert isinstance(notes, list)
+
+    def test_missing_tool_is_a_note(self, monkeypatch):
+        monkeypatch.setattr("repro.lint.external._available",
+                            lambda name: False)
+        for runner, tool in ((run_ruff, "ruff"), (run_mypy, "mypy")):
+            findings, notes = runner([Path("src/repro")])
+            assert findings == []
+            assert len(notes) == 1 and tool in notes[0]
+
+    def test_crash_is_a_note(self, monkeypatch):
+        monkeypatch.setattr("repro.lint.external._available",
+                            lambda name: True)
+        monkeypatch.setattr(
+            "repro.lint.external._run",
+            lambda argv, cwd: ("", "boom: tool exploded", 2))
+        findings, notes = run_ruff([Path("src/repro")])
+        assert findings == []
+        assert "exit 2" in notes[0]

@@ -1,0 +1,56 @@
+"""Fork-safety checker (RPL101-RPL104) against the seeded fixtures."""
+
+from repro.lint import run_lint
+
+
+def _lint(path):
+    return run_lint([path], external=False).findings
+
+
+def codes_of(findings):
+    return sorted(f.display_code for f in findings)
+
+
+class TestForkUnsafeFixture:
+    def test_every_code_fires(self, fixtures):
+        codes = set(codes_of(_lint(fixtures / "fork_unsafe.py")))
+        assert codes == {"RPL101", "RPL102", "RPL103", "RPL104"}
+
+    def test_reachable_lock_flagged(self, fixtures):
+        findings = _lint(fixtures / "fork_unsafe.py")
+        lock = [f for f in findings if f.code == "RPL101"
+                and "_map_chunk" in f.message]
+        assert lock and lock[0].line == 17
+
+    def test_transitive_reachability(self, fixtures):
+        """_score is only reached via _map_chunk — its RNG use must
+        still be flagged."""
+        findings = _lint(fixtures / "fork_unsafe.py")
+        assert any(f.code == "RPL103" and "_score" in f.message
+                   for f in findings)
+
+    def test_stashed_fd_flagged(self, fixtures):
+        findings = _lint(fixtures / "fork_unsafe.py")
+        stashes = [f for f in findings if f.code == "RPL104"]
+        assert {f.line for f in stashes} == {12, 13}
+
+
+class TestForkSafeFixture:
+    def test_clean(self, fixtures):
+        """memmap sharing and per-call default_rng are sanctioned."""
+        assert _lint(fixtures / "fork_safe.py") == []
+
+
+class TestNonForkModulesExempt:
+    def test_checker_only_activates_on_fork_modules(self, tmp_path):
+        """threading.Lock in an ordinary module is fine — the server
+        uses one legitimately; only _FORK_STATE modules are in scope."""
+        ordinary = tmp_path / "server_like.py"
+        ordinary.write_text(
+            "import threading\n"
+            "class Server:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n")
+        findings = [f for f in _lint(ordinary)
+                    if f.code.startswith("RPL1")]
+        assert findings == []

@@ -1,0 +1,66 @@
+"""Registry-contract checker (RPL301-RPL303) against the mini-project
+fixture and the real registry."""
+
+from pathlib import Path
+
+import repro
+from repro.lint import run_lint
+
+
+def _lint(path):
+    return run_lint([path], external=False).findings
+
+
+class TestFixtureProject:
+    def test_broken_engine_missing_method(self, fixtures):
+        findings = _lint(fixtures / "regproj")
+        assert any(f.code == "RPL301"
+                   and "BrokenEngine.fresh_stats" in f.message
+                   and "abstract" in f.message for f in findings)
+
+    def test_broken_engine_arity(self, fixtures):
+        findings = _lint(fixtures / "regproj")
+        assert any(f.code == "RPL301"
+                   and "BrokenEngine.begin_run" in f.message
+                   for f in findings)
+
+    def test_aligner_arity(self, fixtures):
+        findings = _lint(fixtures / "regproj")
+        assert any(f.code == "RPL301"
+                   and "NarrowAligner.align" in f.message
+                   for f in findings)
+
+    def test_good_entries_clean(self, fixtures):
+        findings = _lint(fixtures / "regproj")
+        assert not any("'good'" in f.message for f in findings)
+
+    def test_unresolvable_factory(self, fixtures):
+        findings = _lint(fixtures / "regproj")
+        assert any(f.code == "RPL303" and "'opaque'" in f.message
+                   for f in findings)
+
+    def test_output_format_missing_writer(self, fixtures):
+        findings = _lint(fixtures / "regproj")
+        assert any(f.code == "RPL301" and "'halfsam'" in f.message
+                   and "writer" in f.message for f in findings)
+
+    def test_ghost_options(self, fixtures):
+        findings = _lint(fixtures / "regproj")
+        assert any(f.code == "RPL302" and "ghost" in f.message
+                   for f in findings)
+
+    def test_finding_count_is_exact(self, fixtures):
+        """Exactly the six seeded registry defects, nothing else."""
+        findings = [f for f in _lint(fixtures / "regproj")
+                    if f.code.startswith("RPL3")]
+        assert len(findings) == 6
+
+
+class TestRealRegistry:
+    def test_registry_contracts_hold_at_head(self):
+        """Every registered engine/aligner/filter/format in the real
+        package satisfies its protocol statically."""
+        package = Path(repro.__file__).parent
+        findings = [f for f in _lint(package)
+                    if f.code.startswith("RPL3")]
+        assert findings == []

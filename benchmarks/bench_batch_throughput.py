@@ -27,6 +27,7 @@ from conftest import emit, result_signature
 
 from repro.core import GenPairPipeline, SeedMap
 from repro.genome import ErrorModel, ReadSimulator, generate_reference
+from repro.obs import set_metrics_enabled
 from repro.util import format_table
 
 CLEAN_PAIRS = 1000
@@ -93,6 +94,27 @@ def test_batch_throughput(bench_reference, bench_seedmap, bench_datasets):
             == [result_signature(r) for r in bat_results])
     assert sequential.stats == batched.stats
 
+    # Observability overhead gate: metrics are recorded once per chunk
+    # (never per pair), so the instrumented hot path must stay within
+    # 3% of the uninstrumented one on the seed-bound workload.
+    reference, seedmap, pairs = worlds["clean"]
+    previous = set_metrics_enabled(False)
+    try:
+        baseline = _throughput(
+            reference, seedmap, pairs,
+            lambda p, d: p.map_batch(d, chunk_size=256), repeats=5)
+        set_metrics_enabled(True)
+        instrumented = _throughput(
+            reference, seedmap, pairs,
+            lambda p, d: p.map_batch(d, chunk_size=256), repeats=5)
+    finally:
+        set_metrics_enabled(previous)
+    overhead = instrumented / baseline
+    rows.append(("clean", "metrics off", "256", f"{baseline:,.0f}",
+                 "1.00x"))
+    rows.append(("clean", "metrics on", "256", f"{instrumented:,.0f}",
+                 f"{overhead:.2f}x"))
+
     emit("batch_throughput", format_table(
         ("dataset", "engine", "batch", "pairs/s", "speedup"), rows,
         title="Batched engine throughput (vs per-pair reference path)"))
@@ -102,3 +124,5 @@ def test_batch_throughput(bench_reference, bench_seedmap, bench_datasets):
     # On the alignment-bound workload the engines do identical per-pair
     # alignment work, so the batch path is parity-within-noise.
     assert speedup_at["giab"] >= 0.85
+    # Metrics-enabled mapping must stay within 3% of uninstrumented.
+    assert overhead >= 0.97

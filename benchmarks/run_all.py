@@ -3,11 +3,13 @@
 The gated benches are the ones CI already enforces individually
 (batch throughput, index load, stream workers, serve latency,
 per-engine pairs/sec); this harness executes them in one shot and
-records status, wall time, and the tail of each report, so the perf
-trajectory is a diffable artifact at the repo root instead of
-something rediscovered from CI logs:
+records status, wall time, and the tail of each report — plus the
+host metadata (python version, platform, CPU count) and the total
+harness wall time, so numbers from different machines are comparable
+at a glance — making the perf trajectory a diffable artifact at the
+repo root instead of something rediscovered from CI logs:
 
-    cd benchmarks && python run_all.py --pr 6
+    cd benchmarks && python run_all.py --pr 7
 
 Figure/table reproductions are deliberately excluded: they assert
 paper agreement, not performance, and several take minutes.
@@ -34,6 +36,9 @@ GATED = (
 
 _BENCH_DIR = Path(__file__).parent
 _REPO_ROOT = _BENCH_DIR.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.obs import host_metadata  # noqa: E402
 
 #: How many closing report lines to keep per bench (the paper-vs-
 #: measured tables all fit comfortably).
@@ -66,7 +71,7 @@ def run_bench(name: str) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="run the gated benches, write BENCH_<pr>.json")
-    parser.add_argument("--pr", type=int, default=6,
+    parser.add_argument("--pr", type=int, default=7,
                         help="PR number stamped into the output name")
     parser.add_argument("--out", default=None,
                         help="output path (default: "
@@ -75,6 +80,7 @@ def main(argv=None) -> int:
     out_path = Path(args.out) if args.out \
         else _REPO_ROOT / f"BENCH_{args.pr}.json"
 
+    harness_started = time.perf_counter()
     results = []
     for name in GATED:
         print(f"== {name}", flush=True)
@@ -86,6 +92,8 @@ def main(argv=None) -> int:
     payload = {
         "pr": args.pr,
         "python": sys.version.split()[0],
+        "host": host_metadata(),
+        "wall_seconds": round(time.perf_counter() - harness_started, 2),
         "benches": results,
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")

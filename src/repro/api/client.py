@@ -91,17 +91,21 @@ class Client:
 
     @staticmethod
     def _workload(payload: Dict[str, Any], engine: Optional[str],
-                  format: Optional[str]) -> Dict[str, Any]:
-        """Attach per-request engine/format selection when given."""
+                  format: Optional[str],
+                  trace: bool = False) -> Dict[str, Any]:
+        """Attach per-request engine/format/trace selection when given."""
         if engine is not None:
             payload["engine"] = engine
         if format is not None:
             payload["format"] = format
+        if trace:
+            payload["trace"] = True
         return payload
 
     def map_pairs(self, pairs: Iterable, header: bool = False,
                   engine: Optional[str] = None,
-                  format: Optional[str] = None) -> Dict[str, Any]:
+                  format: Optional[str] = None,
+                  trace: bool = False) -> Dict[str, Any]:
         """Map inline pairs; reads may be ACGT strings or code arrays.
 
         ``engine``/``format`` select a registered engine and output
@@ -109,7 +113,10 @@ class Client:
         ones).  Returns the raw response: ``lines`` (record lines in
         the requested format, prefixed with the header lines when
         ``header=True``; ``sam`` stays as an alias for the SAM
-        format), per-request ``stats``, and ``elapsed_s``.
+        format), per-request ``stats``, and ``elapsed_s``.  With
+        ``trace=True`` the response also carries ``trace`` — the
+        per-stage span breakdown of this request — without changing
+        the wire lines.
         """
         wire: List[List[str]] = []
         for number, entry in enumerate(pairs):
@@ -134,11 +141,12 @@ class Client:
             wire.append(item)
         return self.request(self._workload(
             {"op": "map", "pairs": wire, "header": header},
-            engine, format))
+            engine, format, trace))
 
     def map_reads(self, reads: Iterable, header: bool = False,
                   engine: str = "longread",
-                  format: Optional[str] = None) -> Dict[str, Any]:
+                  format: Optional[str] = None,
+                  trace: bool = False) -> Dict[str, Any]:
         """Map inline single reads through a single-read engine.
 
         ``reads`` entries are ACGT strings / code arrays, ``(read,
@@ -164,13 +172,14 @@ class Client:
             wire.append(item)
         return self.request(self._workload(
             {"op": "map", "reads": wire, "header": header},
-            engine, format))
+            engine, format, trace))
 
     def map_file(self, reads1: PathLike,
                  reads2: Optional[PathLike] = None,
                  out: Optional[PathLike] = None,
                  engine: Optional[str] = None,
-                 format: Optional[str] = None) -> Dict[str, Any]:
+                 format: Optional[str] = None,
+                 trace: bool = False) -> Dict[str, Any]:
         """Map FASTQ paths daemon-side, writing ``out`` daemon-side.
 
         Paired engines take ``reads1`` and ``reads2``; single-read
@@ -186,7 +195,8 @@ class Client:
             "out": str(Path(out).absolute())}
         if reads2 is not None:
             payload["reads2"] = str(Path(reads2).absolute())
-        return self.request(self._workload(payload, engine, format))
+        return self.request(self._workload(payload, engine, format,
+                                           trace))
 
     # -- lifecycle -----------------------------------------------------
 

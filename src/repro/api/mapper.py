@@ -28,6 +28,7 @@ accumulates GenPair runs (the historical counters), and
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
 
@@ -35,6 +36,7 @@ from ..core.pipeline import PipelineStats, _fork_context
 from ..genome.io_fasta import iter_pairs, iter_reads, read_fasta
 from ..genome.reference import ReferenceGenome
 from ..genome.results import MappingResult, result_records
+from ..obs import get_registry
 from .config import MappingConfig, MappingConfigError
 from .engines import INPUT_SINGLE, Engine, merge_stats, stats_dict
 from .registry import ENGINES, output_format
@@ -242,6 +244,7 @@ class Mapper:
     def _run(self, items: Iterable,
              engine: Engine) -> Iterator[MappingResult]:
         self._running = True
+        started = time.perf_counter()
         try:
             # Fresh per-run counters; the previous run's totals live
             # on in the per-engine accumulators / last_stats.
@@ -254,7 +257,26 @@ class Mapper:
             self.last_stats = stats
             self.last_engine = engine.name
             merge_stats(self._totals[engine.name], stats)
+            self._record_run(engine.name, stats,
+                             time.perf_counter() - started)
             self._running = False
+
+    @staticmethod
+    def _record_run(name: str, stats, elapsed: float) -> None:
+        """Fold one completed run into the metrics registry.
+
+        Once per *run* (never per pair), so it costs nothing on the
+        hot path; the counter folds are bit-identical between
+        ``workers=1`` and ``workers=N`` because the stats they mirror
+        already are.
+        """
+        obs = get_registry()
+        if not obs.enabled:
+            return
+        obs.counter(f"engine.{name}.runs").inc()
+        obs.histogram(f"engine.{name}.run_s").observe(elapsed)
+        for field, value in stats_dict(stats).items():
+            obs.counter(f"engine.{name}.{field}").inc(value)
 
     # -- output --------------------------------------------------------
 
@@ -278,6 +300,8 @@ class Mapper:
         record-line count.  Closes a generator stream even on error,
         so the worker pool never leaks in-flight chunks."""
         fmt = self._resolve_format(format, results)
+        obs = get_registry()
+        started = time.perf_counter() if obs.enabled else 0.0
         with fmt.open(path, self.reference) as writer:
             try:
                 writer.drain(results)
@@ -285,7 +309,12 @@ class Mapper:
                 close = getattr(results, "close", None)
                 if close is not None:
                     close()
-            return writer.count
+            count = writer.count
+        if obs.enabled:
+            obs.histogram(f"output.{fmt.name}.write_s").observe(
+                time.perf_counter() - started)
+            obs.counter(f"output.{fmt.name}.records").inc(count)
+        return count
 
     def lines(self, results: Iterable, format: Optional[str] = None,
               header: bool = True) -> Iterator[str]:
@@ -296,7 +325,28 @@ class Mapper:
         output byte for byte — for every registered format.
         """
         fmt = self._resolve_format(format, results)
-        return fmt.lines(results, self.reference, header=header)
+        stream = fmt.lines(results, self.reference, header=header)
+        if not get_registry().enabled:
+            return stream
+        return self._counted_lines(stream, fmt.name)
+
+    @staticmethod
+    def _counted_lines(stream: Iterator[str],
+                       format_name: str) -> Iterator[str]:
+        """Yield ``stream`` unchanged while counting wire lines; the
+        counter lands even when the consumer abandons the stream early
+        (the underlying generator is closed in the same finally)."""
+        emitted = 0
+        try:
+            for line in stream:
+                emitted += 1
+                yield line
+        finally:
+            close = getattr(stream, "close", None)
+            if close is not None:
+                close()
+            get_registry().counter(
+                f"output.{format_name}.wire_lines").inc(emitted)
 
     def to_sam(self, results: Iterable, path: PathLike) -> int:
         """:meth:`write` pinned to the SAM format (historical name)."""

@@ -36,8 +36,17 @@ requests.  Operations:
     suite and the CI smoke job).
 ``stats``
     Cumulative mapper counters (GenPair-compatible ``mapper`` plus
-    per-engine ``engines``) and server totals (requests served, pairs
-    mapped, per-op counts, errors).
+    per-engine ``engines``), server totals (requests served, pairs
+    mapped, per-op counts, errors), the full process metrics registry
+    snapshot (``metrics`` — per-stage latency histograms, per-worker
+    executor timings, request latencies by op), and ``host`` metadata.
+
+Mapping requests additionally accept ``"trace": true``, which returns
+a per-stage span breakdown (``serve.map`` / ``serve.render`` plus the
+in-process pipeline spans) alongside the normal response.  Request
+counts and latencies are also recorded per op into the metrics
+registry (``serve.requests.<op>`` / ``serve.request_s.<op>``, and
+``serve.map_s.<engine>.<format>`` for mapping work).
 ``shutdown``
     Acknowledge, then stop the accept loop and tear the mapper down.
 
@@ -59,6 +68,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from ..genome.sequence import encode
+from ..obs import capture_trace, get_registry, host_metadata, span
 from .engines import stats_dict
 from .mapper import Mapper
 
@@ -249,7 +259,7 @@ class MapServer:
                         # so answering and reading on would pair
                         # later responses with the wrong requests.
                         # Reject once and drop the connection.
-                        self.stats.errors += 1
+                        self._count_error()
                         conn.sendall(json.dumps(
                             {"ok": False,
                              "error": "request exceeds "
@@ -269,19 +279,28 @@ class MapServer:
             finally:
                 reader.close()
 
+    def _count_error(self) -> None:
+        """One failed request: the server total and, when metrics are
+        on, the ``serve.errors`` counter (every error path goes
+        through here so the two never drift)."""
+        self.stats.errors += 1
+        obs = get_registry()
+        if obs.enabled:
+            obs.counter("serve.errors").inc()
+
     def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
         try:
             request = json.loads(line)
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
         except ValueError as exc:
-            self.stats.errors += 1
+            self._count_error()
             return {"ok": False, "error": f"bad request: {exc}"}
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None) \
             if isinstance(op, str) and not op.startswith("_") else None
         if handler is None:
-            self.stats.errors += 1
+            self._count_error()
             return {"ok": False, "op": op,
                     "error": f"unknown op {op!r}; available: map, "
                              "map_file, ping, shutdown, stats"}
@@ -289,12 +308,17 @@ class MapServer:
         try:
             response = handler(request)
         except Exception as exc:  # keep serving after a bad request
-            self.stats.errors += 1
+            self._count_error()
             return {"ok": False, "op": op,
                     "error": f"{type(exc).__name__}: {exc}"}
+        elapsed = time.perf_counter() - start
+        obs = get_registry()
+        if obs.enabled:
+            obs.counter(f"serve.requests.{op}").inc()
+            obs.histogram(f"serve.request_s.{op}").observe(elapsed)
         response.setdefault("ok", True)
         response["op"] = op
-        response["elapsed_s"] = round(time.perf_counter() - start, 6)
+        response["elapsed_s"] = round(elapsed, 6)
         return response
 
     # -- operations ----------------------------------------------------
@@ -317,7 +341,9 @@ class MapServer:
         self.stats.record("stats")
         return {"server": self.stats.to_dict(),
                 "mapper": _stats_dict(self.mapper.stats),
-                "engines": self.mapper.engine_stats()}
+                "engines": self.mapper.engine_stats(),
+                "metrics": get_registry().snapshot(),
+                "host": host_metadata()}
 
     def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self.stats.record("shutdown")
@@ -407,17 +433,38 @@ class MapServer:
                         f'engine {engine.name!r} maps read pairs; '
                         'send "pairs", not "reads"')
                 decoded = self._decode_pairs(request.get("pairs"))
-            results = self.mapper.map(decoded, engine=engine.name)
-            lines = list(self.mapper.lines(
-                results, format=fmt,
-                header=bool(request.get("header", False))))
+            format_name = fmt if fmt is not None \
+                else self.mapper.config.output_format
+
+            def run():
+                # The wire lines are produced by the exact same map +
+                # lines path with or without tracing — the trace flag
+                # never changes the payload bytes.
+                with span("serve.map"):
+                    results = self.mapper.map(decoded,
+                                              engine=engine.name)
+                with span("serve.render"):
+                    return list(self.mapper.lines(
+                        results, format=fmt,
+                        header=bool(request.get("header", False))))
+
+            started = time.perf_counter()
+            trace = None
+            if request.get("trace"):
+                with capture_trace() as tracer:
+                    lines = run()
+                trace = tracer.to_dicts()
+            else:
+                lines = run()
+            self._record_map_metrics(engine.name, format_name,
+                                     time.perf_counter() - started)
             stats = _stats_dict(self.mapper.last_stats)
         self.stats.record("map", pairs=len(decoded))
-        format_name = fmt if fmt is not None \
-            else self.mapper.config.output_format
         response = {"pairs": len(decoded), "lines": lines,
                     "engine": engine.name, "format": format_name,
                     "stats": stats}
+        if trace is not None:
+            response["trace"] = trace
         if format_name == "sam":
             response["sam"] = lines  # historical alias
         return response
@@ -433,18 +480,44 @@ class MapServer:
                              "for single-read engines)")
         with self._map_lock:
             engine = self.mapper.engine(engine_name)
-            results = self.mapper.map_file(request["reads1"], reads2,
-                                           engine=engine.name)
-            records = self.mapper.write(results, request["out"],
-                                        format=fmt)
+            format_name = fmt if fmt is not None \
+                else self.mapper.config.output_format
+
+            def run():
+                with span("serve.map"):
+                    results = self.mapper.map_file(
+                        request["reads1"], reads2, engine=engine.name)
+                    return self.mapper.write(results, request["out"],
+                                             format=fmt)
+
+            started = time.perf_counter()
+            trace = None
+            if request.get("trace"):
+                with capture_trace() as tracer:
+                    records = run()
+                trace = tracer.to_dicts()
+            else:
+                records = run()
+            self._record_map_metrics(engine.name, format_name,
+                                     time.perf_counter() - started)
             stats = _stats_dict(self.mapper.last_stats)
         units = _units(stats)
         self.stats.record("map_file", pairs=units)
-        return {"pairs": units, "records": records,
-                "out": request["out"], "engine": engine.name,
-                "format": fmt if fmt is not None
-                else self.mapper.config.output_format,
-                "stats": stats}
+        response = {"pairs": units, "records": records,
+                    "out": request["out"], "engine": engine.name,
+                    "format": format_name, "stats": stats}
+        if trace is not None:
+            response["trace"] = trace
+        return response
+
+    @staticmethod
+    def _record_map_metrics(engine_name: str, format_name: str,
+                            elapsed: float) -> None:
+        obs = get_registry()
+        if obs.enabled:
+            obs.histogram(
+                f"serve.map_s.{engine_name}.{format_name}"
+            ).observe(elapsed)
 
 
 def serve(mapper: Mapper, socket_path: PathLike,

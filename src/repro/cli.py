@@ -25,6 +25,13 @@ Subcommands mirror a real read-mapping toolchain:
   newline-delimited JSON over a UNIX socket;
 * ``client``        — talk to a running daemon (``ping`` / ``map`` /
   ``stats`` / ``shutdown``);
+* ``stats``         — one-shot observability snapshot from a running
+  daemon: server totals, per-engine counters, and the full metrics
+  registry (counters / gauges / latency histograms) rendered as
+  tables (``--json`` for the raw reply);
+* ``top``           — live daemon dashboard: engines, request
+  latencies, and worker utilization, refreshed every ``--interval``
+  seconds until interrupted;
 * ``call``          — pile up a SAM file and call variants to VCF;
 * ``design``        — compose the GenPairX + GenDP hardware design and
   print the Table 3/4/5-style report.
@@ -55,6 +62,7 @@ from typing import List, Optional
 import numpy as np
 
 from . import __version__
+from .util.diagnostics import note, set_quiet
 
 
 def _available_cpus() -> int:
@@ -125,19 +133,18 @@ def _build_mapper(args: argparse.Namespace):
         return None, 2
     engine = getattr(args, "engine", "genpair")
     if engine != "genpair" and args.workers > 1:
-        print(f"note: the worker pool serves the genpair engine; "
-              f"--engine {engine} maps in-process (the pool still "
-              "serves genpair requests of a daemon)", file=sys.stderr)
+        note(f"the worker pool serves the genpair engine; "
+             f"--engine {engine} maps in-process (the pool still "
+             "serves genpair requests of a daemon)")
     if args.batch_size > 0 and args.workers > 1:
         cpus = _available_cpus()
         if args.workers > cpus:
-            print(f"note: --workers {args.workers} exceeds the {cpus} "
-                  f"available CPU(s); capping at {cpus}",
-                  file=sys.stderr)
+            note(f"--workers {args.workers} exceeds the {cpus} "
+                 f"available CPU(s); capping at {cpus}")
             args.workers = cpus
     elif args.workers > 1:
-        print("note: --workers requires the batched engine; "
-              "ignored with --batch-size 0", file=sys.stderr)
+        note("--workers requires the batched engine; "
+             "ignored with --batch-size 0")
         args.workers = 1
     overrides = dict(delta=args.delta, batch_size=args.batch_size,
                      workers=args.workers,
@@ -269,6 +276,11 @@ def _cmd_map(args: argparse.Namespace) -> int:
                              args.out)
         if args.call_variants:
             print(f"  called {calls} variants ({args.call_variants})")
+    if getattr(args, "metrics_json", None):
+        from .obs import write_metrics_json
+
+        write_metrics_json(args.metrics_json)
+        print(f"  metrics written to {args.metrics_json}")
     return 0
 
 
@@ -356,6 +368,61 @@ def _cmd_client(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: one observability snapshot from the daemon."""
+    import json
+
+    from .api import Client, ClientError
+    from .obs import render_metrics, render_top
+
+    try:
+        with Client(args.socket, timeout=args.timeout) as client:
+            reply = client.stats()
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    for line in render_top(reply):
+        print(line)
+    print()
+    for line in render_metrics(reply.get("metrics", {})):
+        print(line)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: the daemon dashboard, redrawn every interval."""
+    import time
+
+    from .api import Client, ClientError
+    from .obs import render_top
+
+    frames = 0
+    try:
+        with Client(args.socket, timeout=args.timeout) as client:
+            while True:
+                reply = client.stats()
+                if frames:
+                    # Clear + home between refreshes only, so a single
+                    # frame (--count 1) composes with pipes and tests.
+                    print("\x1b[2J\x1b[H", end="")
+                for line in render_top(reply):
+                    print(line)
+                frames += 1
+                if args.count and frames >= args.count:
+                    return 0
+                sys.stdout.flush()
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_index_build(args: argparse.Namespace) -> int:
@@ -595,6 +662,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="GenPairX reproduction toolchain")
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress advisory notes/warnings on "
+                             "stderr (record output and errors are "
+                             "unaffected; REPRO_QUIET=1 does the same)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate",
@@ -651,6 +722,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also pile up the mapped records and "
                               "call variants to this VCF path "
                               "(one pass over the stream)")
+    map_cmd.add_argument("--metrics-json", metavar="PATH", default=None,
+                         help="after the run, dump the process metrics "
+                              "registry (stage timings, worker "
+                              "utilization, host metadata) as JSON")
     map_cmd.set_defaults(func=_cmd_map)
 
     maplong_cmd = sub.add_parser(
@@ -664,6 +739,10 @@ def build_parser() -> argparse.ArgumentParser:
     maplong_cmd.add_argument("--call-variants", metavar="VCF",
                              default=None,
                              help="also call variants to this VCF path")
+    maplong_cmd.add_argument("--metrics-json", metavar="PATH",
+                             default=None,
+                             help="after the run, dump the process "
+                                  "metrics registry as JSON")
     maplong_cmd.set_defaults(func=_cmd_map_long)
 
     serve_cmd = sub.add_parser(
@@ -702,6 +781,31 @@ def build_parser() -> argparse.ArgumentParser:
                                  "the daemon process; default: "
                                  "out.<format>)")
     client_cmd.set_defaults(func=_cmd_client)
+
+    stats_cmd = sub.add_parser(
+        "stats", help="one-shot observability snapshot from a running "
+                      "daemon (server totals + metrics registry)")
+    stats_cmd.add_argument("--socket", required=True,
+                           help="the daemon's UNIX socket path")
+    stats_cmd.add_argument("--timeout", type=float, default=10.0,
+                           help="socket timeout in seconds")
+    stats_cmd.add_argument("--json", action="store_true",
+                           help="print the raw stats reply as JSON")
+    stats_cmd.set_defaults(func=_cmd_stats)
+
+    top_cmd = sub.add_parser(
+        "top", help="live daemon dashboard: engines, request "
+                    "latencies, worker utilization")
+    top_cmd.add_argument("--socket", required=True,
+                         help="the daemon's UNIX socket path")
+    top_cmd.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between refreshes")
+    top_cmd.add_argument("--count", type=int, default=0,
+                         help="frames to draw before exiting "
+                              "(0 = refresh until interrupted)")
+    top_cmd.add_argument("--timeout", type=float, default=10.0,
+                         help="socket timeout in seconds")
+    top_cmd.set_defaults(func=_cmd_top)
 
     call = sub.add_parser("call", help="call variants from a SAM file")
     call.add_argument("--reference", required=True)
@@ -744,6 +848,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    previous_quiet = set_quiet(True) if args.quiet else None
     try:
         return args.func(args)
     except FileNotFoundError as exc:
@@ -751,6 +856,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         name = exc.filename if exc.filename is not None else exc
         print(f"error: no such file: {name}", file=sys.stderr)
         return 1
+    finally:
+        # Restore for in-process callers (tests drive main() directly).
+        if args.quiet:
+            set_quiet(previous_quiet)
 
 
 if __name__ == "__main__":

@@ -44,6 +44,7 @@ import itertools
 import multiprocessing
 import os
 import queue as queue_module
+import time
 import traceback
 import weakref
 from dataclasses import dataclass, fields
@@ -62,6 +63,7 @@ from ..genome.sam import (METHOD_DP, METHOD_EXACT, METHOD_LIGHT,
                           AlignmentRecord)
 from ..genome.sequence import reverse_complement
 from ..hashing import hash_reads_batch
+from ..obs import MetricsRegistry, get_registry, span
 from ..util.diagnostics import note
 from .light_align import LightAligner
 from .pairfilter import DEFAULT_DELTA, filter_adjacent
@@ -230,6 +232,10 @@ class GenPairPipeline:
         self.candidate_screen = candidate_screen
         self.full_fallback = full_fallback
         self.stats = PipelineStats()
+        #: Where this pipeline's chunk timings land: the process-wide
+        #: registry by default; :func:`_stream_worker` swaps in a fresh
+        #: per-chunk registry whose snapshot ships back with the chunk.
+        self.obs = get_registry()
         self._chromosome_starts = reference.linear_starts()
         self._fork_note_shown = False
 
@@ -376,15 +382,52 @@ class GenPairPipeline:
                                                str]]) -> List[PairResult]:
         """Batch-seed, batch-hash, and batch-query one chunk of pairs.
 
-        The chunk's seed windows are sliced out of one concatenated code
-        buffer, hashed with a single vectorized call, and resolved with
-        one batched SeedMap probe; the per-pair decision logic then runs
-        over the pre-resolved :class:`QueryResult` quadruple of each pair
-        (roles: fr read1, fr read2, rf read1, rf read2 — the same seeds
-        :func:`~repro.core.seeding.partition_pair` would extract).
+        The chunk's seed windows are resolved in one batched SeedMap
+        probe (:meth:`_resolve_chunk`); the per-pair decision logic
+        then runs over the pre-resolved :class:`QueryResult` quadruple
+        of each pair.  Stage timings are recorded once per *chunk*
+        (``pipeline.seed_query_s`` / ``pipeline.filter_align_s``), so
+        instrumentation cost is amortized over the whole batch.
         """
         if not items:
             return []
+        obs = self.obs
+        timed = obs.enabled
+        start = time.perf_counter() if timed else 0.0
+        with span("seed.query_batch"):
+            queries = self._resolve_chunk(items)
+        queried = time.perf_counter() if timed else 0.0
+        with span("pair.filter_align"):
+            results = []
+            for index, (read1, read2, name) in enumerate(items):
+                base = 4 * index
+                prepared = ((queries[base], queries[base + 1]),
+                            (queries[base + 2], queries[base + 3]))
+                results.append(self._map_prepared(read1, read2, name,
+                                                  _BATCH_ORIENTATIONS,
+                                                  prepared))
+        if timed:
+            done = time.perf_counter()
+            obs.histogram("pipeline.seed_query_s").observe(
+                queried - start)
+            obs.histogram("pipeline.filter_align_s").observe(
+                done - queried)
+            obs.counter("pipeline.chunks").inc()
+            obs.counter("pipeline.pairs").inc(len(items))
+        return results
+
+    def _resolve_chunk(self, items: Sequence[Tuple[np.ndarray,
+                                                   np.ndarray, str]]
+                       ) -> List[QueryResult]:
+        """Batched seeding: one chunk's SeedMap queries, pre-resolved.
+
+        The chunk's seed windows are sliced out of one concatenated code
+        buffer, hashed with a single vectorized call, and resolved with
+        one batched SeedMap probe; returns four :class:`QueryResult`
+        entries per pair (roles: fr read1, fr read2, rf read1, rf read2
+        — the same seeds :func:`~repro.core.seeding.partition_pair`
+        would extract).
+        """
         seed_length = self.config.seed_length
         seeds_per_read = self.config.seeds_per_read
         role_codes: List[np.ndarray] = []
@@ -417,17 +460,8 @@ class GenPairPipeline:
             hashes = np.zeros(0, dtype=np.uint64)
             flat_offsets = flat_offsets[:0]
             groups = groups[:0]
-        queries = query_hash_groups(self.seedmap, hashes, flat_offsets,
-                                    groups, len(role_codes), sizes)
-        results = []
-        for index, (read1, read2, name) in enumerate(items):
-            base = 4 * index
-            prepared = ((queries[base], queries[base + 1]),
-                        (queries[base + 2], queries[base + 3]))
-            results.append(self._map_prepared(read1, read2, name,
-                                              _BATCH_ORIENTATIONS,
-                                              prepared))
-        return results
+        return query_hash_groups(self.seedmap, hashes, flat_offsets,
+                                 groups, len(role_codes), sizes)
 
     def _map_batch_sharded(self, items, chunk_size: int,
                            workers: int) -> List[PairResult]:
@@ -765,15 +799,19 @@ class _WorkerFailure:
         self.details = details
 
 
-def _stream_worker(token: int, tasks, results) -> None:
+def _stream_worker(token: int, number: int, tasks, results) -> None:
     """Worker main loop: map task chunks until the ``None`` sentinel.
 
-    Each task is ``(key, items)`` with ``key`` echoed back verbatim
-    (the parent keys chunks ``(epoch, seq)``); the pipeline arrives
-    fork-inherited via :data:`_FORK_STATE`, so the worker shares the
-    parent's SeedMap (including memory-mapped index arrays)
-    copy-on-write.  Statistics are reset per chunk and shipped back
-    alongside the results; an exception becomes a
+    Each task is ``(key, enqueued_at, items)`` with ``key`` echoed back
+    verbatim (the parent keys chunks ``(epoch, seq)``) and
+    ``enqueued_at`` a ``time.monotonic()`` stamp (system-wide on the
+    fork platforms this runs on, so the queue-wait delta is meaningful
+    across the process boundary; ``perf_counter`` is per-process).
+    The pipeline arrives fork-inherited via :data:`_FORK_STATE`, so
+    the worker shares the parent's SeedMap (including memory-mapped
+    index arrays) copy-on-write.  Statistics — and a fresh per-chunk
+    metrics registry of plain fork-safe counters — are reset per chunk
+    and shipped back alongside the results; an exception becomes a
     :class:`_WorkerFailure` for that chunk and the worker keeps
     serving later ones.
     """
@@ -783,17 +821,27 @@ def _stream_worker(token: int, tasks, results) -> None:
             task = tasks.get()
             if task is None:
                 return
-            key, items = task
+            key, enqueued_at, items = task
+            wait_s = time.monotonic() - enqueued_at
             pipeline.stats = PipelineStats()
+            pipeline.obs = obs = MetricsRegistry()
             try:
                 # Chunks arrive already normalized by _chunk_stream, so
                 # go straight to the batch engine (same entry the
                 # serial streaming path uses).
+                started = time.perf_counter()
                 mapped = pipeline._map_chunk(items)
+                chunk_s = time.perf_counter() - started
             except Exception:
                 results.put((key, _WorkerFailure(traceback.format_exc())))
                 continue
-            results.put((key, (mapped, pipeline.stats)))
+            if obs.enabled:
+                obs.histogram("executor.queue_wait_s").observe(wait_s)
+                obs.histogram("executor.chunk_s").observe(chunk_s)
+                obs.histogram(f"executor.w{number}.chunk_s").observe(
+                    chunk_s)
+                obs.counter("executor.chunks").inc()
+            results.put((key, (mapped, pipeline.stats, obs.snapshot())))
     except KeyboardInterrupt:
         return
 
@@ -860,6 +908,10 @@ class StreamExecutor:
         self.inflight = inflight
         self._token = next(_FORK_TOKENS)
         self._stats = PipelineStats()
+        # Worker metrics snapshots accumulate here (merged in chunk
+        # order at the ordered-merge point) and fold into the
+        # pipeline's registry with the stats, at fold_stats()/close().
+        self._obs = MetricsRegistry()
         self._closed = False
         self._mapping = False
         self._abandoned = 0
@@ -883,13 +935,17 @@ class StreamExecutor:
             for number in range(workers):
                 process = context.Process(
                     target=_stream_worker,
-                    args=(self._token, self._tasks, self._results),
+                    args=(self._token, number, self._tasks,
+                          self._results),
                     name=f"repro-stream-worker-{number}", daemon=True)
                 process.start()
                 self._processes.append(process)
         except BaseException:
             self.close()
             raise
+        if pipeline.obs.enabled:
+            pipeline.obs.gauge("executor.workers").set(
+                len(self._processes))
 
     @property
     def workers(self) -> int:
@@ -922,6 +978,8 @@ class StreamExecutor:
         next_seq = 0
         exhausted = False
         source_error: Optional[Exception] = None
+        obs = self.pipeline.obs
+        run_started = time.perf_counter()
         try:
             while True:
                 if self._closed:
@@ -942,8 +1000,14 @@ class StreamExecutor:
                     if chunk is None:
                         exhausted = True
                         break
-                    self._tasks.put(((epoch, submitted), chunk))
+                    self._tasks.put(((epoch, submitted),
+                                     time.monotonic(), chunk))
                     submitted += 1
+                    if obs.enabled:
+                        # In-flight chunks after this submit: how far
+                        # the dispatcher runs ahead of the collector.
+                        obs.histogram("executor.dispatch_depth") \
+                            .observe(submitted - next_seq)
                 if next_seq == submitted:
                     break
                 while next_seq not in buffered:
@@ -957,8 +1021,9 @@ class StreamExecutor:
                         f"streaming worker failed on chunk {next_seq}; "
                         f"worker traceback:\n{payload.details}")
                 next_seq += 1
-                results, stats = payload
+                results, stats, obs_snapshot = payload
                 self._stats.merge(stats)
+                self._obs.merge_snapshot(obs_snapshot)
                 yield from results
             if source_error is not None:
                 raise source_error
@@ -969,6 +1034,9 @@ class StreamExecutor:
             self._abandoned += submitted - next_seq - len(buffered)
             self._mapping = False
             chunks.close()
+            if obs.enabled:
+                obs.histogram("executor.run_s").observe(
+                    time.perf_counter() - run_started)
 
     def fold_stats(self) -> None:
         """Fold worker statistics accumulated so far into the pipeline.
@@ -985,6 +1053,8 @@ class StreamExecutor:
                                "is active")
         self.pipeline.stats.merge(self._stats)
         self._stats = PipelineStats()
+        self.pipeline.obs.merge_snapshot(self._obs.snapshot())
+        self._obs = MetricsRegistry()
 
     def close(self) -> None:
         """Shut the pool down and fold worker stats into the pipeline.
@@ -1022,6 +1092,8 @@ class StreamExecutor:
             _FORK_STATE.pop(self._token, None)
             self.pipeline.stats.merge(self._stats)
             self._stats = PipelineStats()
+            self.pipeline.obs.merge_snapshot(self._obs.snapshot())
+            self._obs = MetricsRegistry()
 
     def __enter__(self) -> "StreamExecutor":
         return self

@@ -46,6 +46,10 @@ Code         Meaning
              registered renderer modules
 ``RPL501``   no-print: ``print()`` in a library module (route
              diagnostics through :mod:`repro.util.diagnostics`)
+``RPL601``   timing: ``time.time()`` called outside tests (the wall
+             clock is adjustable; time intervals with
+             ``time.perf_counter()``, or ``time.monotonic()`` for
+             stamps that cross a fork)
 ===========  ===============================================================
 
 Suppression

@@ -24,6 +24,7 @@ from .mutable_defaults import MutableDefaultChecker
 from .no_print import NoPrintChecker
 from .project import Project
 from .registry_contract import RegistryContractChecker
+from .timing import TimingChecker
 from .wire_identity import WireIdentityChecker
 
 #: Every custom checker, in report-stable order.
@@ -33,6 +34,7 @@ CHECKERS = (
     RegistryContractChecker(),
     WireIdentityChecker(),
     NoPrintChecker(),
+    TimingChecker(),
 )
 
 

@@ -39,6 +39,8 @@ CODES = {
     "RPL402": "wire tag/header literal outside the registered output "
               "renderers",
     "RPL501": "print() in a library module (use repro.util.diagnostics)",
+    "RPL601": "time.time() used for timing (use time.perf_counter / "
+              "time.monotonic)",
 }
 
 _SUPPRESS_RE = re.compile(

@@ -1,6 +1,7 @@
 """Shared utilities for benches and examples."""
 
-from .diagnostics import note, warn
+from .diagnostics import is_quiet, note, set_quiet, warn
 from .tables import format_table, paper_vs_measured
 
-__all__ = ["format_table", "note", "paper_vs_measured", "warn"]
+__all__ = ["format_table", "is_quiet", "note", "paper_vs_measured",
+           "set_quiet", "warn"]

@@ -1,0 +1,22 @@
+"""A library module timing with the wall clock (RPL601)."""
+
+import time
+import time as clock
+from time import time as now
+from time import perf_counter
+
+
+def bad_interval():
+    start = time.time()             # RPL601
+    work = clock.time() - start     # RPL601 (aliased module)
+    return now() - work             # RPL601 (aliased function)
+
+
+def good_interval():
+    start = perf_counter()
+    stamp = time.monotonic()        # fine: fork-crossing stamps
+    return perf_counter() - start, stamp
+
+
+def suppressed_epoch():
+    return time.time()  # lint: ignore[RPL601]

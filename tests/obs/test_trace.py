@@ -1,0 +1,75 @@
+"""Span tracing: the shared no-op, capture, nesting, restoration."""
+
+import time
+
+from repro.obs import active_tracer, capture_trace, span
+from repro.obs.trace import _NOOP
+
+
+class TestInactive:
+    def test_span_is_the_shared_noop(self):
+        assert active_tracer() is None
+        assert span("seed.query_batch") is _NOOP
+        assert span("a") is span("b")
+
+    def test_noop_span_is_a_working_context_manager(self):
+        with span("anything") as handle:
+            assert handle is _NOOP
+
+
+class TestCapture:
+    def test_records_name_depth_elapsed(self):
+        with capture_trace() as tracer:
+            with span("serve.map"):
+                time.sleep(0.002)
+        assert active_tracer() is None
+        [record] = tracer.records
+        assert record.name == "serve.map"
+        assert record.depth == 0
+        assert record.elapsed_s >= 0.002
+        assert record.started_s >= 0.0
+
+    def test_nesting_tracked_by_depth_and_start_order(self):
+        with capture_trace() as tracer:
+            with span("outer"):
+                with span("inner.a"):
+                    pass
+                with span("inner.b"):
+                    pass
+        dicts = tracer.to_dicts()
+        assert [d["name"] for d in dicts] == ["outer", "inner.a",
+                                              "inner.b"]
+        assert [d["depth"] for d in dicts] == [0, 1, 1]
+        outer = dicts[0]
+        assert outer["elapsed_s"] >= dicts[1]["elapsed_s"]
+
+    def test_to_dicts_is_json_shaped(self):
+        with capture_trace() as tracer:
+            with span("only"):
+                pass
+        [entry] = tracer.to_dicts()
+        assert set(entry) == {"name", "depth", "started_s", "elapsed_s"}
+
+    def test_nested_captures_stack_and_restore(self):
+        with capture_trace() as outer:
+            assert active_tracer() is outer
+            with capture_trace() as inner:
+                assert active_tracer() is inner
+                with span("inner.only"):
+                    pass
+            assert active_tracer() is outer
+            with span("outer.only"):
+                pass
+        assert active_tracer() is None
+        assert [r.name for r in outer.records] == ["outer.only"]
+        assert [r.name for r in inner.records] == ["inner.only"]
+
+    def test_exception_inside_span_still_records_and_restores(self):
+        try:
+            with capture_trace() as tracer:
+                with span("doomed"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert active_tracer() is None
+        assert [r.name for r in tracer.records] == ["doomed"]

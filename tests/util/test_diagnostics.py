@@ -1,0 +1,61 @@
+"""The verbosity knob: REPRO_QUIET and set_quiet silence diagnostics."""
+
+import pytest
+
+from repro.util.diagnostics import is_quiet, note, set_quiet, warn
+
+
+@pytest.fixture(autouse=True)
+def unpinned(monkeypatch):
+    """Each test starts unpinned with no REPRO_QUIET set, and leaves
+    the module state the way it found it."""
+    monkeypatch.delenv("REPRO_QUIET", raising=False)
+    previous = set_quiet(None)
+    yield
+    set_quiet(previous)
+
+
+class TestEnvironment:
+    def test_default_is_loud(self, capsys):
+        assert not is_quiet()
+        note("hello")
+        assert capsys.readouterr().err == "note: hello\n"
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "anything"])
+    def test_truthy_env_silences(self, monkeypatch, capsys, value):
+        monkeypatch.setenv("REPRO_QUIET", value)
+        assert is_quiet()
+        note("hidden")
+        warn("hidden")
+        assert capsys.readouterr().err == ""
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "FALSE"])
+    def test_falsy_env_stays_loud(self, monkeypatch, capsys, value):
+        monkeypatch.setenv("REPRO_QUIET", value)
+        assert not is_quiet()
+        warn("shown")
+        assert capsys.readouterr().err == "warning: shown\n"
+
+
+class TestSetQuiet:
+    def test_pin_overrides_environment(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_QUIET", "1")
+        set_quiet(False)
+        note("forced loud")
+        assert capsys.readouterr().err == "note: forced loud\n"
+        set_quiet(True)
+        monkeypatch.delenv("REPRO_QUIET")
+        note("forced quiet")
+        assert capsys.readouterr().err == ""
+
+    def test_returns_previous_for_restore(self):
+        assert set_quiet(True) is None
+        assert set_quiet(None) is True
+        assert not is_quiet()
+
+    def test_unpin_consults_environment_again(self, monkeypatch):
+        set_quiet(True)
+        set_quiet(None)
+        assert not is_quiet()
+        monkeypatch.setenv("REPRO_QUIET", "1")
+        assert is_quiet()

@@ -1,0 +1,67 @@
+"""Incremental lint cache economics: cold analysis vs. warm reuse.
+
+``repro lint --cache`` keys every checker run by content hash — local
+checkers per (file, environment digest), global checkers per
+import-closure digest — so an unchanged tree costs O(hash) instead of
+O(parse + analyze).  This bench runs the full nine-checker suite over
+the real ``src/repro`` package twice against the same cache file and
+gates the warm run at >=3x faster than the cold one (measured locally
+at ~16x; the 3x floor leaves headroom for slow CI hosts).
+
+The warm run must also reproduce the cold run's report byte-for-byte:
+a cache that changes findings is worse than no cache.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+
+import repro
+from repro.lint import run_lint
+from repro.util import format_table
+
+#: The CI gate: warm must be at least this many times faster.
+MIN_SPEEDUP = 3.0
+
+
+def _timed(package, cache_path):
+    start = time.perf_counter()
+    report = run_lint([package], external=False, cache_path=cache_path)
+    return time.perf_counter() - start, report
+
+
+def test_lint_cache(tmp_path):
+    package = Path(repro.__file__).parent
+    cache_path = tmp_path / "lint-cache.json"
+
+    cold_s, cold = _timed(package, cache_path)
+    warm_s, warm = _timed(package, cache_path)
+    speedup = cold_s / warm_s
+
+    cold_hits, cold_misses = cold.cache_stats
+    warm_hits, warm_misses = warm.cache_stats
+
+    rows = [
+        ("cold (empty cache)", f"{cold_s * 1e3:,.0f} ms",
+         f"{cold_hits} hit / {cold_misses} miss"),
+        ("warm (same tree)", f"{warm_s * 1e3:,.0f} ms",
+         f"{warm_hits} hit / {warm_misses} miss"),
+        ("speedup", f"{speedup:.1f}x", f"gate: >={MIN_SPEEDUP:.0f}x"),
+    ]
+    emit("lint_cache", "lint cache: cold vs warm over src/repro\n"
+         + format_table(("run", "wall", "cache"), rows))
+
+    assert cold_hits == 0, "cold run must start from an empty cache"
+    assert warm_misses == 0, "warm run over an unchanged tree must " \
+        "be all hits"
+    assert warm.render() == cold.render()
+    assert json.dumps(warm.to_json(), sort_keys=True) \
+        == json.dumps(cold.to_json(), sort_keys=True)
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm lint run only {speedup:.1f}x faster than cold "
+        f"(cold {cold_s:.2f}s, warm {warm_s:.2f}s); gate is "
+        f">={MIN_SPEEDUP:.0f}x")

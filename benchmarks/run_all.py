@@ -32,6 +32,7 @@ GATED = (
     "bench_stream_workers.py",
     "bench_serve.py",
     "bench_engines.py",
+    "bench_lint_cache.py",
 )
 
 _BENCH_DIR = Path(__file__).parent

@@ -565,11 +565,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .lint import CODES, run_lint
+    from .lint.cache import DEFAULT_CACHE_NAME
+    from .lint.fixer import FIXABLE_CODES, fix_paths
 
     if args.list_codes:
         width = max(len(code) for code in CODES)
         for code, meaning in sorted(CODES.items()):
-            print(f"{code:<{width}}  {meaning}")
+            mark = "  [--fix]" if code in FIXABLE_CODES else ""
+            print(f"{code:<{width}}  {meaning}{mark}")
         return 0
     if args.paths:
         roots = [Path(p) for p in args.paths]
@@ -580,15 +583,54 @@ def _cmd_lint(args: argparse.Namespace) -> int:
               if s.strip()] if args.select else None
     ignore = [s.strip() for s in args.ignore.split(",")
               if s.strip()] if args.ignore else None
+    exclude = [s.strip() for s in (args.exclude or []) if s.strip()]
+
+    if args.fix or args.diff:
+        codes = [code for code in FIXABLE_CODES
+                 if select is None
+                 or any(code.startswith(p) for p in select)]
+        fixes = fix_paths(roots, codes)
+        if args.diff:
+            for fix in fixes:
+                print(fix.diff(relative_to=Path.cwd()), end="")
+            return 0
+        for fix in fixes:
+            fix.write()
+            summary = ", ".join(f"{count} {code}" for code, count
+                                in fix.counts.items())
+            print(f"fixed {fix.path}: {summary}")
+        if not fixes:
+            print("nothing to fix")
+        return 0
+
+    cache_path = None
+    if args.cache_path:
+        cache_path = Path(args.cache_path)
+    elif args.cache:
+        cache_path = Path.cwd() / DEFAULT_CACHE_NAME
     report = run_lint(roots, select=select, ignore=ignore,
-                      external=not args.no_external)
-    if args.json:
+                      external=not args.no_external,
+                      cache_path=cache_path, exclude=exclude)
+    fmt = args.format or ("json" if args.json else "text")
+    if fmt == "json":
         print(json.dumps(report.to_json(), indent=2))
+    elif fmt == "sarif":
+        from .lint.sarif import to_sarif
+        print(json.dumps(to_sarif(report, relative_to=Path.cwd()),
+                         indent=2))
+    elif fmt == "github":
+        from .lint.sarif import to_github
+        for line in to_github(report, relative_to=Path.cwd()):
+            print(line)
     else:
         for line in report.render(relative_to=Path.cwd()):
             print(line)
         for message in report.notes:
             print(f"note: {message}", file=sys.stderr)
+        if report.cache_stats is not None:
+            hits, misses = report.cache_stats
+            print(f"cache: {hits} hit(s), {misses} miss(es)",
+                  file=sys.stderr)
         if report.clean:
             print(f"clean: {len(roots)} root(s), "
                   f"{len(report.suppressed)} suppressed")
@@ -838,7 +880,32 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip ruff/mypy, run only the project "
                                "checkers")
     lint_cmd.add_argument("--json", action="store_true",
-                          help="machine-readable report on stdout")
+                          help="machine-readable report on stdout "
+                               "(alias for --format json)")
+    lint_cmd.add_argument("--format",
+                          choices=("text", "json", "sarif", "github"),
+                          default=None,
+                          help="report format: human text (default), "
+                               "JSON, SARIF 2.1.0, or GitHub workflow "
+                               "commands")
+    lint_cmd.add_argument("--exclude", action="append", default=None,
+                          metavar="FRAGMENT",
+                          help="drop findings whose path contains this "
+                               "fragment (repeatable; e.g. "
+                               "tests/lint/fixtures)")
+    lint_cmd.add_argument("--fix", action="store_true",
+                          help="rewrite the fixable findings in place "
+                               "(RPL201/RPL501/RPL601; idempotent)")
+    lint_cmd.add_argument("--diff", action="store_true",
+                          help="print the --fix rewrites as a unified "
+                               "diff without touching any file")
+    lint_cmd.add_argument("--cache", action="store_true",
+                          help="use the incremental cache "
+                               "(.repro-lint-cache.json in the "
+                               "working directory)")
+    lint_cmd.add_argument("--cache-path", default=None,
+                          help="incremental cache location (implies "
+                               "--cache)")
     lint_cmd.add_argument("--list-codes", action="store_true",
                           help="print the finding-code table and exit")
     lint_cmd.set_defaults(func=_cmd_lint)

@@ -50,6 +50,32 @@ Code         Meaning
              clock is adjustable; time intervals with
              ``time.perf_counter()``, or ``time.monotonic()`` for
              stamps that cross a fork)
+``RPL701``   resource-lifetime: a handle acquired from ``open`` /
+             ``socket`` / ``mmap`` / ``open_index`` outside a ``with``
+             or ``try/finally`` escapes the function unclosed — via
+             ``return``, a container stash, or an attribute stash whose
+             owning class never closes it (attributes the class closes
+             in any method are ownership transfer, not leaks)
+``RPL702``   resource-lifetime: a view derived from
+             ``open_index(...)`` inside its ``with`` block is returned
+             or yielded out of the block — the mmap closes at exit and
+             the view dangles
+``RPL801``   determinism: iterating a set into output order (a loop,
+             ``join``, or ``list(...)`` conversion that feeds
+             output) without ``sorted(...)`` — set order varies per
+             process and breaks wire byte-identity
+``RPL802``   determinism: ``os.listdir`` / ``glob`` / ``Path.iterdir``
+             results used without sorting (OS-dependent order)
+``RPL901``   obs-contract: a literal metric name at a ``counter`` /
+             ``gauge`` / ``histogram`` call site that the catalog
+             (:mod:`repro.obs.catalog`) does not declare, or declares
+             with a different kind
+``RPL902``   obs-contract: a dynamic (f-string) metric name whose
+             ``*``-template is not a declared metric family
+``RPL903``   obs-contract: catalog drift — a renderer in
+             ``obs/render.py`` references an undeclared name, or the
+             README metric table (between the ``lint:metric-catalog``
+             markers) disagrees with the catalog's entries or kinds
 ===========  ===============================================================
 
 Suppression
@@ -71,17 +97,62 @@ checker plus ``ruff``/``mypy`` when installed (``--no-external`` skips
 them; missing tools degrade to a stderr note), prints findings as
 ``path:line  CODE  message``, and exits 0.  ``repro lint --strict``
 exits 2 on any finding — the CI gate.  ``--select``/``--ignore`` take
-comma-separated code prefixes; ``--list-codes`` prints the table above.
+comma-separated code prefixes; ``--exclude FRAGMENT`` (repeatable)
+drops paths containing the fragment; ``--list-codes`` prints the
+table above, tagging the autofixable codes.
+
+Autofix
+-------
+
+``repro lint --fix`` rewrites the mechanical findings in place;
+``--diff`` previews the rewrites as a unified diff without writing.
+Fixable codes: ``RPL201`` (mutable default → ``None`` sentinel plus a
+guard after the docstring), ``RPL501`` (bare single-argument
+``print(x)`` → ``diagnostics.note(x)``, importing the module when
+needed), ``RPL601`` (``time.time()`` → ``time.perf_counter()``,
+rewiring ``from time import time``).  The fixer is idempotent — a
+second ``--fix`` run changes nothing — it honours suppression
+comments, and it skips anything it cannot rewrite safely (multi-line
+defaults, one-liner bodies, ``print`` with keywords or starred args).
+
+Incremental cache
+-----------------
+
+``--cache`` (or ``--cache-path PATH``) persists per-checker results
+keyed by content hash into ``.repro-lint-cache.json``.  Local
+checkers key per file (plus an environment digest — the obs-contract
+checker folds the catalog and README in); cross-module checkers key
+on their declared dependency closure, so the fork-safety checker
+re-runs when a worker-reachable module changes and is reused when an
+unrelated one does.  The store is generation-swapped: every save
+writes only entries the run touched, so stale keys age out.  Cached
+and uncached runs render byte-identically (tested), and CI gates the
+warm run at >=3x faster than cold.
+
+Output formats
+--------------
+
+``--format text|json|sarif|github`` selects the report form: ``sarif``
+is a SARIF 2.1.0 log for code-scanning upload, ``github`` emits
+``::error file=...`` workflow commands (suppressed findings become
+``::notice`` lines) so CI annotates the diff inline.  ``to_json``
+carries suppressed findings' path/line/code, not just a count.
 
 Programmatic surface: :func:`run_lint` returns the finding list;
 :class:`Finding` is the one record type; ``CHECKERS`` lists the checker
-classes in the order they run.
+classes in the order they run; :func:`fix_paths` computes autofixes;
+:class:`LintCache` is the incremental store; :func:`to_sarif` /
+:func:`to_github` render a report for CI.
 """
 
 from __future__ import annotations
 
+from .cache import LintCache
 from .driver import CHECKERS, LintReport, lint_paths, run_lint
 from .findings import CODES, Finding, suppressed_codes
+from .fixer import FIXABLE_CODES, fix_paths
+from .sarif import to_github, to_sarif
 
-__all__ = ["CHECKERS", "CODES", "Finding", "LintReport", "lint_paths",
-           "run_lint", "suppressed_codes"]
+__all__ = ["CHECKERS", "CODES", "FIXABLE_CODES", "Finding",
+           "LintCache", "LintReport", "fix_paths", "lint_paths",
+           "run_lint", "suppressed_codes", "to_github", "to_sarif"]

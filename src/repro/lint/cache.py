@@ -1,0 +1,235 @@
+"""Content-hash incremental cache for ``repro lint``.
+
+Re-linting an unchanged tree should cost file reads and hash checks,
+not AST walks and call-graph builds.  The cache maps *inputs* to
+*raw checker findings* (pre-suppression — suppression comments live in
+the file content, so they re-apply cheaply every run):
+
+* a **local** checker (``scope = "local"``, one ``check_module`` call
+  per file) caches per file, keyed by the file's content hash, the
+  checker's code list, and — for checkers whose verdict depends on
+  out-of-file state, like the obs-contract's catalog and README — an
+  optional ``environment(project)`` digest;
+* a **global** checker (whole-project analyses like fork safety)
+  caches one result per project, keyed by the content hashes of its
+  **dependency closure**: the modules its ``dependencies(project)``
+  hook names, or every module when it has no hook.  Fork safety's
+  closure is the import closure of the fork-relevant anchors, so
+  touching an unrelated module does not invalidate it — the
+  import-graph-aware part.
+
+The store is one JSON file (``.repro-lint-cache.json`` in the working
+directory by default, ``--cache-path`` to move it, ``--no-cache`` to
+skip).  Each save writes only entries touched this run, so deleted
+files age out instead of accumulating.  Corrupt or version-mismatched
+files are discarded silently: a cache must never be load-bearing.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .findings import Finding
+from .project import Module, Project
+
+#: Bump when the stored shape (not checker logic) changes.
+_VERSION = 2
+
+#: Default store location, relative to the invoking process's cwd.
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+
+def content_hash(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()[:20]
+
+
+def checker_salt(checker) -> str:
+    """Key material identifying the checker's contract: its name and
+    code list (adding a code invalidates its cached results)."""
+    return f"{type(checker).__name__}:{','.join(checker.codes)}"
+
+
+def local_key(checker, module: Module, env_digest: str) -> str:
+    return content_hash(
+        f"{checker_salt(checker)}|{env_digest}|{content_hash(module.source)}")
+
+
+def global_key(checker, dependencies: Iterable[Module]) -> str:
+    parts = sorted(f"{module.rel_path}={content_hash(module.source)}"
+                   for module in dependencies)
+    return content_hash(checker_salt(checker) + "|" + ";".join(parts))
+
+
+# -- import closure (global-checker invalidation) ----------------------
+
+
+def _lookup_dotted(project: Project, dotted: str) -> Optional[Module]:
+    if not dotted:
+        return None
+    module = project.by_dotted.get(dotted)
+    if module is not None:
+        return module
+    # An absolute import spelled with the installed package prefix
+    # (``repro.core.pipeline`` while the root is ``src/repro``).
+    head, _, rest = dotted.partition(".")
+    if rest and head == project.root.name:
+        return project.by_dotted.get(rest)
+    return None
+
+
+def module_imports(project: Project, module: Module) -> List[Module]:
+    """The project-internal modules ``module`` imports (one hop)."""
+    out: List[Module] = []
+    seen = set()
+
+    def add(target: Optional[Module]) -> None:
+        if target is not None and target.rel_path not in seen:
+            seen.add(target.rel_path)
+            out.append(target)
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                add(_lookup_dotted(project, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                base = project.resolve_relative(
+                    module, node.level, node.module) or ""
+                if not base and node.module is None:
+                    # ``from . import x`` at the tree root.
+                    base = ""
+            add(_lookup_dotted(project, base))
+            for alias in node.names:
+                sub = f"{base}.{alias.name}" if base else alias.name
+                add(_lookup_dotted(project, sub))
+    return out
+
+
+def import_closure(project: Project, anchors: Iterable[Module]
+                   ) -> List[Module]:
+    """``anchors`` plus everything they transitively import, in
+    deterministic discovery order."""
+    ordered: List[Module] = []
+    seen = set()
+    queue = [anchor for anchor in anchors]
+    while queue:
+        module = queue.pop(0)
+        if module.rel_path in seen:
+            continue
+        seen.add(module.rel_path)
+        ordered.append(module)
+        queue.extend(module_imports(project, module))
+    return ordered
+
+
+# -- the store ---------------------------------------------------------
+
+
+def _encode(findings: Iterable[Finding], root: Path) -> List[Dict]:
+    rows = []
+    for finding in findings:
+        try:
+            path = Path(finding.path).relative_to(root).as_posix()
+            relative = True
+        except ValueError:
+            path, relative = finding.path, False
+        rows.append({"p": path, "r": relative, "l": finding.line,
+                     "c": finding.code, "m": finding.message,
+                     "t": finding.tool, "o": finding.column})
+    return rows
+
+
+def _decode(rows: List[Dict], root: Path) -> List[Finding]:
+    out = []
+    for row in rows:
+        path = str(root / row["p"]) if row.get("r", True) else row["p"]
+        out.append(Finding(path=path, line=row["l"], code=row["c"],
+                           message=row["m"], tool=row.get("t", "repro"),
+                           column=row.get("o", 0)))
+    return out
+
+
+class LintCache:
+    """Generation-swapped JSON store: lookups read the loaded
+    generation, stores write the next one, :meth:`save` persists only
+    the next — entries not touched this run age out."""
+
+    def __init__(self, path: Path, previous: Optional[Dict] = None
+                 ) -> None:
+        self.path = Path(path)
+        self._old: Dict = previous if previous is not None \
+            else {"local": {}, "global": {}}
+        self._new: Dict = {"local": {}, "global": {}}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Path) -> "LintCache":
+        path = Path(path)
+        try:
+            raw = json.loads(path.read_text())
+            if raw.get("version") != _VERSION:
+                raise ValueError("stale cache version")
+            data = {"local": raw.get("local", {}),
+                    "global": raw.get("global", {})}
+        except (OSError, ValueError):
+            data = None
+        return cls(path, previous=data)
+
+    def save(self) -> None:
+        payload = {"version": _VERSION,
+                   "local": self._new["local"],
+                   "global": self._new["global"]}
+        try:
+            self.path.write_text(json.dumps(payload, sort_keys=True))
+        except OSError:
+            pass  # an unwritable cache degrades to "no cache"
+
+    # -- local (per-file) ---------------------------------------------
+
+    def lookup_local(self, root: Path, checker, module: Module,
+                     key: str) -> Optional[List[Finding]]:
+        slot = self._old["local"].get(str(root), {}) \
+            .get(type(checker).__name__, {}).get(module.rel_path)
+        if slot is None or slot.get("k") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._store("local", root, checker, module.rel_path, slot)
+        return _decode(slot["f"], root)
+
+    def store_local(self, root: Path, checker, module: Module,
+                    key: str, findings: List[Finding]) -> None:
+        self._store("local", root, checker, module.rel_path,
+                    {"k": key, "f": _encode(findings, root)})
+
+    # -- global (per-project) -----------------------------------------
+
+    def lookup_global(self, root: Path, checker, key: str
+                      ) -> Optional[List[Finding]]:
+        slot = self._old["global"].get(str(root), {}) \
+            .get(type(checker).__name__)
+        if slot is None or slot.get("k") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._new["global"].setdefault(str(root), {})[
+            type(checker).__name__] = slot
+        return _decode(slot["f"], root)
+
+    def store_global(self, root: Path, checker, key: str,
+                     findings: List[Finding]) -> None:
+        self._new["global"].setdefault(str(root), {})[
+            type(checker).__name__] = {
+                "k": key, "f": _encode(findings, root)}
+
+    def _store(self, kind: str, root: Path, checker, rel_path: str,
+               slot: Dict) -> None:
+        self._new[kind].setdefault(str(root), {}) \
+            .setdefault(type(checker).__name__, {})[rel_path] = slot

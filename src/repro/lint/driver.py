@@ -1,10 +1,21 @@
-"""The lint driver: load, check, suppress, report.
+"""The lint driver: load, check (through the cache), suppress, report.
 
 :func:`run_lint` is the one entry point the CLI and CI call.  It loads
 each root into a :class:`~repro.lint.project.Project`, runs every
-registered checker, drops findings covered by ``# lint: ignore[...]``
-comments on their line, optionally runs the external tools, and returns
-a :class:`LintReport` the caller renders or serializes.
+registered checker — consulting the incremental cache when one is
+given, so unchanged files cost a hash check instead of an AST walk —
+drops findings covered by ``# lint: ignore[...]`` comments on their
+line (external-tool findings included: a suppression is a suppression
+regardless of who found the problem), and returns a
+:class:`LintReport` the caller renders or serializes.
+
+Checkers come in two scopes.  A ``scope = "local"`` checker exposes
+``check_module(project, module)`` and is cached per file by content
+hash (plus an optional ``environment(project)`` digest for checkers
+whose verdict depends on out-of-file state).  Everything else is
+global: cached per project, keyed by the content of its
+``dependencies(project)`` closure — or of every module when it
+declares none.
 
 Files that fail to parse are reported as findings (code ``RPL000``)
 rather than crashing the run — a lint gate that dies on the broken file
@@ -17,13 +28,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .cache import LintCache, content_hash, global_key, local_key
+from .determinism import DeterminismChecker
 from .external import run_external
 from .findings import Finding, suppressed_codes
 from .fork_safety import ForkSafetyChecker
 from .mutable_defaults import MutableDefaultChecker
 from .no_print import NoPrintChecker
-from .project import Project
+from .obs_contract import ObsContractChecker
+from .project import Module, Project
 from .registry_contract import RegistryContractChecker
+from .resource_lifetime import ResourceLifetimeChecker
 from .timing import TimingChecker
 from .wire_identity import WireIdentityChecker
 
@@ -35,6 +50,9 @@ CHECKERS = (
     WireIdentityChecker(),
     NoPrintChecker(),
     TimingChecker(),
+    ResourceLifetimeChecker(),
+    DeterminismChecker(),
+    ObsContractChecker(),
 )
 
 
@@ -48,6 +66,8 @@ class LintReport:
     #: Findings dropped by suppression comments (for ``--json`` and
     #: the suppression tests).
     suppressed: List[Finding] = field(default_factory=list)
+    #: ``(hits, misses)`` of the incremental cache, when one ran.
+    cache_stats: Optional[tuple] = None
 
     @property
     def clean(self) -> bool:
@@ -77,7 +97,11 @@ class LintReport:
                 for f in sorted(self.findings,
                                 key=lambda f: f.sort_key())],
             "notes": list(self.notes),
-            "suppressed": len(self.suppressed),
+            "suppressed": [
+                {"path": f.path, "line": f.line,
+                 "code": f.display_code}
+                for f in sorted(self.suppressed,
+                                key=lambda f: f.sort_key())],
         }
 
 
@@ -93,15 +117,35 @@ def _selected(finding: Finding, select: Optional[Sequence[str]],
     return True
 
 
-def _apply_suppressions(project: Project, findings: Iterable[Finding],
+def _excluded(finding: Finding,
+              exclude: Optional[Sequence[str]]) -> bool:
+    """Is the finding's path under an ``--exclude`` fragment?  Matches
+    on posix path substrings (``tests/lint/fixtures`` drops the
+    deliberately-dirty fixture tree from a ``tests/`` lint)."""
+    if not exclude:
+        return False
+    posix = Path(finding.path).as_posix()
+    return any(fragment in posix for fragment in exclude)
+
+
+def _apply_suppressions(by_path: Dict[str, Module],
+                        findings: Iterable[Finding],
                         report: LintReport,
                         select: Optional[Sequence[str]],
-                        ignore: Optional[Sequence[str]]) -> None:
-    by_path = {str(module.path): module for module in project.modules}
+                        ignore: Optional[Sequence[str]],
+                        exclude: Optional[Sequence[str]] = None
+                        ) -> None:
     for finding in findings:
-        if not _selected(finding, select, ignore):
+        if not _selected(finding, select, ignore) \
+                or _excluded(finding, exclude):
             continue
         module = by_path.get(finding.path)
+        if module is None:
+            try:
+                module = by_path.get(
+                    str(Path(finding.path).resolve()))
+            except OSError:
+                module = None
         if module is not None:
             suppression = suppressed_codes(module.line(finding.line))
             if suppression is not None and suppression.covers(finding):
@@ -111,7 +155,8 @@ def _apply_suppressions(project: Project, findings: Iterable[Finding],
 
 
 def lint_paths(roots: Sequence[Path]) -> List[Project]:
-    """Load each root (deduplicated, sorted) into a project."""
+    """Load each root (deduplicated, order-preserving) into a
+    project."""
     unique: List[Path] = []
     seen = set()
     for root in roots:
@@ -122,34 +167,81 @@ def lint_paths(roots: Sequence[Path]) -> List[Project]:
     return [Project.load(root) for root in unique]
 
 
+def _run_checker(project: Project, checker,
+                 cache: Optional[LintCache]) -> List[Finding]:
+    """One checker over one project, through the cache when enabled."""
+    if cache is None:
+        return list(checker.check(project))
+    if getattr(checker, "scope", "global") == "local" \
+            and hasattr(checker, "check_module"):
+        env = checker.environment(project) \
+            if hasattr(checker, "environment") else ""
+        env_digest = content_hash(env) if env else ""
+        out: List[Finding] = []
+        for module in project.modules:
+            key = local_key(checker, module, env_digest)
+            cached = cache.lookup_local(project.root, checker,
+                                        module, key)
+            if cached is None:
+                cached = list(checker.check_module(project, module))
+                cache.store_local(project.root, checker, module,
+                                  key, cached)
+            out.extend(cached)
+        return out
+    dependencies = checker.dependencies(project) \
+        if hasattr(checker, "dependencies") else project.modules
+    key = global_key(checker, dependencies)
+    cached = cache.lookup_global(project.root, checker, key)
+    if cached is None:
+        cached = list(checker.check(project))
+        cache.store_global(project.root, checker, key, cached)
+    return cached
+
+
 def run_lint(roots: Sequence[Path],
              select: Optional[Sequence[str]] = None,
              ignore: Optional[Sequence[str]] = None,
-             external: bool = True) -> LintReport:
+             external: bool = True,
+             cache_path: Optional[Path] = None,
+             exclude: Optional[Sequence[str]] = None) -> LintReport:
     """Run every checker over ``roots`` and return the report.
 
     ``select``/``ignore`` are code *prefixes* (``RPL1`` covers the
     whole fork-safety family; ``ruff:`` covers all ruff findings),
-    ignore winning over select.  ``external=False`` skips ruff/mypy
-    entirely (the unit tests and quick local runs).
+    ignore winning over select.  ``exclude`` drops findings whose
+    path contains any given posix fragment (dirty fixture trees).
+    ``external=False`` skips ruff/mypy entirely (the unit tests and
+    quick local runs).  ``cache_path`` enables the incremental cache
+    at that location; ``None`` (the default, and what the unit tests
+    use) runs everything fresh.
     """
     report = LintReport()
+    cache = LintCache.load(cache_path) \
+        if cache_path is not None else None
     projects = lint_paths(roots)
+    by_path: Dict[str, Module] = {}
+    for project in projects:
+        for module in project.modules:
+            by_path[str(module.path)] = module
     for project in projects:
         for path, exc in project.broken:
             finding = Finding(
                 path=str(path), line=exc.lineno or 1, code="RPL000",
                 message=f"file does not parse: {exc.msg}")
-            if _selected(finding, select, ignore):
+            if _selected(finding, select, ignore) \
+                    and not _excluded(finding, exclude):
                 report.findings.append(finding)
         for checker in CHECKERS:
-            _apply_suppressions(project, checker.check(project),
-                                report, select, ignore)
+            _apply_suppressions(by_path,
+                                _run_checker(project, checker, cache),
+                                report, select, ignore, exclude)
     if external:
         findings, notes = run_external(
             [project.root for project in projects])
         report.notes.extend(notes)
-        for finding in findings:
-            if _selected(finding, select, ignore):
-                report.findings.append(finding)
+        _apply_suppressions(by_path, findings, report, select,
+                            ignore, exclude)
+    if cache is not None:
+        cache.save()
+        report.cache_stats = (cache.hits, cache.misses)
     return report

@@ -41,6 +41,18 @@ CODES = {
     "RPL501": "print() in a library module (use repro.util.diagnostics)",
     "RPL601": "time.time() used for timing (use time.perf_counter / "
               "time.monotonic)",
+    "RPL701": "file/socket/mmap handle acquired outside with/try-finally "
+              "escapes the function unclosed",
+    "RPL702": "mapping-backed view returned/yielded from inside its "
+              "with open_index(...) block",
+    "RPL801": "set iterated where order reaches output (wrap in "
+              "sorted(...))",
+    "RPL802": "os.listdir/glob/Path.iterdir consumed without sorted(...)",
+    "RPL901": "literal metric name not declared in the obs catalog "
+              "(or declared with another kind)",
+    "RPL902": "dynamic metric name matches no declared metric family",
+    "RPL903": "metric catalog drift: renderer or README references a "
+              "name the catalog does not declare",
 }
 
 _SUPPRESS_RE = re.compile(

@@ -1,0 +1,340 @@
+"""Autofixes for the mechanical finding codes (``repro lint --fix``).
+
+Three families are mechanical enough to rewrite safely; everything
+else stays report-only:
+
+* **RPL201** — a single-line mutable parameter default becomes a
+  ``None`` sentinel, with an ``if param is None: param = <original>``
+  guard inserted at the top of the body (after the docstring).
+* **RPL501** — a single-argument ``print(x)`` becomes
+  ``diagnostics.note(x)``, importing ``repro.util.diagnostics`` once
+  if the module does not already.
+* **RPL601** — ``<alias>.time()`` becomes ``<alias>.perf_counter()``;
+  a ``from time import time`` rewires to ``perf_counter`` along with
+  its bare call sites (``... as clock`` aliases rewire the import
+  only — the call sites already use the alias).
+
+Every fix is **idempotent** by construction: the rewritten form no
+longer matches its checker, so a second ``--fix`` run is a no-op (CI
+asserts exactly that).  Lines carrying a ``# lint: ignore[...]`` for
+the code keep their text — a suppression is an explicit human
+decision the fixer must not overrule.  Anything the span arithmetic
+cannot rewrite safely (multi-line defaults, ``print`` with keywords,
+starred args, one-liner function bodies) is left for the report.
+
+:func:`fix_paths` computes :class:`ModuleFixes` per changed file;
+``--diff`` renders them as unified diffs, plain ``--fix`` writes them
+back.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import suppressed_codes
+from .mutable_defaults import describe_mutable
+from .no_print import is_print_exempt
+from .project import Module, Project
+from .timing import is_timing_exempt, time_aliases
+
+#: Codes ``--fix`` can rewrite (the ``--list-codes`` autofix column).
+FIXABLE_CODES = ("RPL201", "RPL501", "RPL601")
+
+
+@dataclass
+class _Edit:
+    """Replace ``[col, end_col)`` of 0-based ``line`` with ``text``."""
+
+    line: int
+    col: int
+    end_col: int
+    text: str
+
+
+@dataclass
+class _Insertion:
+    """Insert ``lines`` before 0-based line ``before``."""
+
+    before: int
+    lines: List[str]
+
+
+@dataclass
+class ModuleFixes:
+    """One module's rewrite: original and fixed text, per-code counts."""
+
+    path: Path
+    original: str
+    fixed: str
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def changed(self) -> bool:
+        return self.fixed != self.original
+
+    def diff(self, relative_to: Optional[Path] = None) -> str:
+        shown = str(self.path)
+        if relative_to is not None:
+            try:
+                shown = str(self.path.resolve()
+                            .relative_to(relative_to.resolve()))
+            except ValueError:
+                pass
+        lines = difflib.unified_diff(
+            self.original.splitlines(keepends=True),
+            self.fixed.splitlines(keepends=True),
+            fromfile=f"a/{shown}", tofile=f"b/{shown}")
+        return "".join(lines)
+
+    def write(self) -> None:
+        self.path.write_text(self.fixed)
+
+
+def _single_line(node: ast.AST) -> bool:
+    return getattr(node, "end_lineno", None) == node.lineno
+
+
+def _suppressed(module: Module, line: int, code: str) -> bool:
+    suppression = suppressed_codes(module.line(line))
+    return suppression is not None \
+        and (not suppression.codes or code in suppression.codes)
+
+
+def _span_text(module: Module, node: ast.AST) -> str:
+    return module.lines[node.lineno - 1][
+        node.col_offset:node.end_col_offset]
+
+
+class _ModuleFixer:
+    def __init__(self, module: Module,
+                 codes: Sequence[str]) -> None:
+        self.module = module
+        self.codes = codes
+        self.edits: List[_Edit] = []
+        self.insertions: List[_Insertion] = []
+        self.counts: Dict[str, int] = {}
+
+    def run(self) -> Optional[ModuleFixes]:
+        if "RPL201" in self.codes:
+            self._fix_mutable_defaults()
+        if "RPL501" in self.codes:
+            self._fix_prints()
+        if "RPL601" in self.codes:
+            self._fix_wall_clock()
+        if not self.edits and not self.insertions:
+            return None
+        return ModuleFixes(
+            path=self.module.path, original=self.module.source,
+            fixed=self._apply(), counts=dict(sorted(
+                self.counts.items())))
+
+    def _count(self, code: str) -> None:
+        self.counts[code] = self.counts.get(code, 0) + 1
+
+    def _edit_node(self, node: ast.AST, text: str, code: str) -> bool:
+        """Queue a span replacement; False when unsafe/suppressed."""
+        if not _single_line(node) \
+                or _suppressed(self.module, node.lineno, code):
+            return False
+        self.edits.append(_Edit(node.lineno - 1, node.col_offset,
+                                node.end_col_offset, text))
+        return True
+
+    # -- RPL201: mutable parameter defaults ---------------------------
+
+    def _fix_mutable_defaults(self) -> None:
+        for fn in ast.walk(self.module.tree):
+            if not isinstance(fn, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                continue  # lambdas have no body to guard in
+            self._fix_function_defaults(fn)
+
+    def _fix_function_defaults(self, fn) -> None:
+        args = fn.args
+        positional = args.posonlyargs + args.args
+        pairs = list(zip(positional[len(positional)
+                                    - len(args.defaults):],
+                         args.defaults))
+        pairs += [(arg, default) for arg, default
+                  in zip(args.kwonlyargs, args.kw_defaults)
+                  if default is not None]
+        fixable: List[Tuple[str, ast.expr]] = []
+        for arg, default in pairs:
+            if describe_mutable(default) is None:
+                continue
+            if not _single_line(default) \
+                    or _suppressed(self.module, default.lineno,
+                                   "RPL201"):
+                continue
+            fixable.append((arg.arg, default))
+        if not fixable:
+            return
+        body = fn.body
+        sig_end = max([fn.lineno]
+                      + [node.end_lineno or node.lineno
+                         for _, node in pairs]
+                      + ([fn.returns.end_lineno]
+                         if fn.returns is not None
+                         and fn.returns.end_lineno else []))
+        if body[0].lineno <= sig_end:
+            return  # one-liner body: no line to insert guards at
+        docstring = (isinstance(body[0], ast.Expr)
+                     and isinstance(body[0].value, ast.Constant)
+                     and isinstance(body[0].value.value, str))
+        anchor = body[1] if docstring and len(body) > 1 else body[0]
+        if docstring and len(body) == 1:
+            before = (body[0].end_lineno or body[0].lineno)
+            indent = " " * body[0].col_offset
+        else:
+            before = anchor.lineno - 1
+            indent = " " * anchor.col_offset
+        guards: List[str] = []
+        for name, default in fixable:
+            original = _span_text(self.module, default)
+            self._edit_node(default, "None", "RPL201")
+            guards.append(f"{indent}if {name} is None:")
+            guards.append(f"{indent}    {name} = {original}")
+            self._count("RPL201")
+        self.insertions.append(_Insertion(before, guards))
+
+    # -- RPL501: print in library code --------------------------------
+
+    def _fix_prints(self) -> None:
+        if is_print_exempt(self.module):
+            return
+        imported = self._has_diagnostics_import()
+        fixed_any = False
+        for node in ast.walk(self.module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                continue
+            if node.keywords or len(node.args) != 1 \
+                    or isinstance(node.args[0], ast.Starred):
+                continue
+            if self._edit_node(node.func, "diagnostics.note",
+                               "RPL501"):
+                self._count("RPL501")
+                fixed_any = True
+        if fixed_any and not imported:
+            self.insertions.append(_Insertion(
+                self._import_anchor(),
+                ["from repro.util import diagnostics"]))
+
+    def _has_diagnostics_import(self) -> bool:
+        for node in self.module.tree.body:
+            if isinstance(node, ast.ImportFrom):
+                if any(alias.name == "diagnostics"
+                       for alias in node.names):
+                    return True
+            elif isinstance(node, ast.Import):
+                if any(alias.name.endswith(".diagnostics")
+                       for alias in node.names):
+                    return True
+        return False
+
+    def _import_anchor(self) -> int:
+        """0-based line to insert an import before: after the last
+        top-level import, else after the module docstring."""
+        anchor = 0
+        body = self.module.tree.body
+        if body and isinstance(body[0], ast.Expr) \
+                and isinstance(body[0].value, ast.Constant) \
+                and isinstance(body[0].value.value, str):
+            anchor = body[0].end_lineno or body[0].lineno
+        for node in body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                anchor = max(anchor, node.end_lineno or node.lineno)
+        return anchor
+
+    # -- RPL601: wall-clock timing ------------------------------------
+
+    def _fix_wall_clock(self) -> None:
+        if is_timing_exempt(self.module):
+            return
+        modules, functions = time_aliases(self.module.tree)
+        if not modules and not functions:
+            return
+        #: Bare names that must rewire at the call sites too (no
+        #: ``as`` alias shielding them).
+        bare = set()
+        for node in self.module.tree.body:
+            if isinstance(node, ast.ImportFrom) \
+                    and node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if alias.name != "time":
+                        continue
+                    text = "perf_counter" if alias.asname is None \
+                        else f"perf_counter as {alias.asname}"
+                    if self._edit_node(alias, text, "RPL601"):
+                        if alias.asname is None:
+                            bare.add("time")
+                        else:
+                            self._count("RPL601")
+        for node in ast.walk(self.module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr == "time" \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id in modules:
+                if self._edit_node(
+                        func, f"{func.value.id}.perf_counter",
+                        "RPL601"):
+                    self._count("RPL601")
+            elif isinstance(func, ast.Name) and func.id in bare:
+                if self._edit_node(func, "perf_counter", "RPL601"):
+                    self._count("RPL601")
+
+    # -- apply ---------------------------------------------------------
+
+    def _apply(self) -> str:
+        lines = list(self.module.lines)
+        for edit in sorted(self.edits,
+                           key=lambda e: (e.line, e.col),
+                           reverse=True):
+            line = lines[edit.line]
+            lines[edit.line] = (line[:edit.col] + edit.text
+                                + line[edit.end_col:])
+        for insertion in sorted(self.insertions,
+                                key=lambda i: i.before,
+                                reverse=True):
+            lines[insertion.before:insertion.before] = insertion.lines
+        text = "\n".join(lines)
+        if self.module.source.endswith("\n"):
+            text += "\n"
+        return text
+
+
+def fix_module(module: Module,
+               codes: Optional[Sequence[str]] = None
+               ) -> Optional[ModuleFixes]:
+    """Compute (not write) this module's fixes; ``None`` when clean."""
+    return _ModuleFixer(module, codes or FIXABLE_CODES).run()
+
+
+def fix_paths(roots: Sequence[Path],
+              codes: Optional[Sequence[str]] = None
+              ) -> List[ModuleFixes]:
+    """Compute fixes for every module under ``roots`` (deduplicated),
+    in deterministic path order.  Nothing is written — the caller
+    decides between ``--diff`` preview and in-place rewrite."""
+    seen = set()
+    fixes: List[ModuleFixes] = []
+    for root in roots:
+        resolved = Path(root).resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        project = Project.load(resolved)
+        for module in sorted(project.modules,
+                             key=lambda m: m.rel_path):
+            result = fix_module(module, codes)
+            if result is not None and result.changed:
+                fixes.append(result)
+    return fixes

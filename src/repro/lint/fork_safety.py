@@ -12,29 +12,31 @@ same "random" stream.  The one sanctioned shared handle is the
 memory-mapped index (``np.memmap`` is copy-on-write by design), which
 is why this checker has nothing to say about it.
 
-The checker activates only on modules that participate in the fork
-protocol — those defining ``_FORK_STATE`` or a ``_stream_worker``
-function (``core/pipeline.py`` in this repo).  There it:
+Reachability is computed on the project-wide
+:class:`~repro.lint.callgraph.CallGraph` — resolved calls followed
+through imports, re-exports, method tables, and the ``_FORK_STATE``
+dataflow seam — starting from every ``_stream_worker`` definition in
+the tree.  Unlike PR 6's name-level approximation this crosses module
+boundaries (a worker-reachable helper in ``core/query.py`` is in
+scope) and never matches by bare name: a call the graph cannot resolve
+contributes no reachability, so a sanctioned-looking finding really is
+on a resolved path from the worker.
 
-* computes the set of functions statically reachable from
-  ``_stream_worker`` (direct calls, ``self.method``/``obj.method``
-  calls resolved by name against the module's own functions and
-  methods, and instantiations of the module's classes), and flags
-  threading-primitive construction (RPL101), fd-opening calls
-  (RPL102), and legacy global-RNG references (RPL103) inside it;
-* independently scans every class of the module for attributes
-  assigned a fork-unsafe resource (``self.x = open(...)``,
-  ``threading.Lock()``, ``socket.socket(...)``, a freshly seeded
-  ``np.random`` generator) and module-level globals holding the same —
-  objects of these classes are exactly what gets stashed in
-  ``_FORK_STATE`` pre-fork (RPL104).
+* RPL101/102/103 flag threading-primitive construction, fd-opening
+  calls, and legacy global-RNG references inside worker-reachable
+  functions, wherever those functions live;
+* RPL104 independently scans every class and module-level global of a
+  ``_FORK_STATE`` module for attributes assigned a fork-unsafe
+  resource — objects of these classes are exactly what gets stashed in
+  ``_FORK_STATE`` pre-fork.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Iterator, List, Set, Tuple
 
+from .callgraph import CallGraph, FunctionNode
 from .findings import Finding
 from .project import Module, Project
 
@@ -75,7 +77,9 @@ _RANDOM_GLOBALS = {
 _RNG_FACTORIES = {("random", "default_rng"), ("random", "RandomState")}
 
 
-def _is_fork_module(module: Module) -> bool:
+def is_fork_module(module: Module) -> bool:
+    """Does this module participate in the fork protocol (defines
+    ``_FORK_STATE`` or a ``_stream_worker``)?"""
     for node in module.tree.body:
         if isinstance(node, ast.Assign):
             for target in node.targets:
@@ -90,63 +94,6 @@ def _is_fork_module(module: Module) -> bool:
                 and node.name == "_stream_worker":
             return True
     return False
-
-
-def _definitions(module: Module) -> Dict[str, List[ast.FunctionDef]]:
-    """Every function/method of the module, keyed by bare name (the
-    name-level approximation the reachability walk resolves against)."""
-    table: Dict[str, List[ast.FunctionDef]] = {}
-    for node in module.tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            table.setdefault(node.name, []).append(node)
-        elif isinstance(node, ast.ClassDef):
-            for item in node.body:
-                if isinstance(item, (ast.FunctionDef,
-                                     ast.AsyncFunctionDef)):
-                    table.setdefault(item.name, []).append(item)
-    return table
-
-
-def _class_names(module: Module) -> Set[str]:
-    return {node.name for node in module.tree.body
-            if isinstance(node, ast.ClassDef)}
-
-
-def _called_names(fn: ast.FunctionDef) -> Set[str]:
-    """Names this function may transfer control to, by the name-level
-    approximation: ``f(...)``, ``anything.f(...)``, and class
-    instantiations all contribute their terminal name."""
-    names: Set[str] = set()
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Call):
-            func = node.func
-            if isinstance(func, ast.Name):
-                names.add(func.id)
-            elif isinstance(func, ast.Attribute):
-                names.add(func.attr)
-    return names
-
-
-def _reachable(module: Module) -> List[ast.FunctionDef]:
-    """Functions statically reachable from ``_stream_worker``."""
-    table = _definitions(module)
-    classes = _class_names(module)
-    worklist: List[str] = ["_stream_worker"]
-    seen: Set[str] = set()
-    reached: List[ast.FunctionDef] = []
-    while worklist:
-        name = worklist.pop()
-        if name in seen:
-            continue
-        seen.add(name)
-        for fn in table.get(name, []):
-            reached.append(fn)
-            for called in _called_names(fn):
-                if called in table or called in classes:
-                    worklist.append(called)
-                if called in classes:
-                    worklist.append("__init__")
-    return reached
 
 
 def _dotted(node: ast.expr) -> Tuple[str, ...]:
@@ -216,46 +163,73 @@ def _legacy_rng_uses(fn: ast.FunctionDef) -> Iterator[Tuple[int, str]]:
 
 
 class ForkSafetyChecker:
-    """RPL101–RPL104 over the modules participating in the fork pool."""
+    """RPL101–RPL104, reachability via the project call graph."""
 
     codes = ("RPL101", "RPL102", "RPL103", "RPL104")
+    scope = "global"
 
     def check(self, project: Project) -> Iterator[Finding]:
+        has_fork_modules = any(is_fork_module(module)
+                               for module in project.modules)
+        if not has_fork_modules:
+            return
+        graph = CallGraph.build(project)
+        yield from self._check_worker_reachable(graph)
         for module in project.modules:
-            if not _is_fork_module(module):
-                continue
-            yield from self._check_worker_reachable(module)
-            yield from self._check_prefork_stash(module)
+            if is_fork_module(module):
+                yield from self._check_prefork_stash(module)
+
+    def dependencies(self, project: Project) -> List[Module]:
+        """The modules whose content this checker's findings depend
+        on: the fork-protocol modules plus everything they can import
+        (reachability cannot leave the import closure) — the cache
+        invalidation set."""
+        from .cache import import_closure
+        anchors = [module for module in project.modules
+                   if is_fork_module(module)
+                   or "_FORK_STATE" in module.source]
+        return import_closure(project, anchors)
 
     # -- worker-reachable code (RPL101/102/103) -----------------------------
 
-    def _check_worker_reachable(self, module: Module
+    def _check_worker_reachable(self, graph: CallGraph
                                 ) -> Iterator[Finding]:
-        scan = _UnsafeCallScan(_threading_aliases(module))
-        for fn in _reachable(module):
-            for node in ast.walk(fn):
-                verdict = scan.classify(node)
-                if verdict is not None:
-                    code, label = verdict
-                    if code == "RNG":
-                        continue  # creating a fresh generator is safe
-                    kind = ("threading primitive"
-                            if code == "RPL101" else "file descriptor")
-                    yield Finding(
-                        path=str(module.path), line=node.lineno,
-                        code=code,
-                        message=f"{label} creates a {kind} in code "
-                                f"reachable from _stream_worker "
-                                f"({fn.name}); it would be shared "
-                                "across the fork boundary")
-            for line, label in _legacy_rng_uses(fn):
+        aliases_by_module = {}
+        for node in graph.reachable_from_name("_stream_worker"):
+            module = node.module
+            aliases = aliases_by_module.get(module.dotted)
+            if aliases is None:
+                aliases = aliases_by_module[module.dotted] = \
+                    _threading_aliases(module)
+            yield from self._scan_function(module, node, aliases)
+
+    def _scan_function(self, module: Module, fn_node: FunctionNode,
+                       aliases: Set[str]) -> Iterator[Finding]:
+        scan = _UnsafeCallScan(aliases)
+        fn = fn_node.node
+        for node in ast.walk(fn):
+            verdict = scan.classify(node)
+            if verdict is not None:
+                code, label = verdict
+                if code == "RNG":
+                    continue  # creating a fresh generator is safe
+                kind = ("threading primitive"
+                        if code == "RPL101" else "file descriptor")
                 yield Finding(
-                    path=str(module.path), line=line, code="RPL103",
-                    message=f"{label} uses global RNG state in code "
+                    path=str(module.path), line=node.lineno,
+                    code=code,
+                    message=f"{label} creates a {kind} in code "
                             f"reachable from _stream_worker "
-                            f"({fn.name}); every forked worker "
-                            "inherits and repeats the same stream — "
-                            "use a per-worker np.random.default_rng")
+                            f"({fn_node.qualname}); it would be "
+                            "shared across the fork boundary")
+        for line, label in _legacy_rng_uses(fn):
+            yield Finding(
+                path=str(module.path), line=line, code="RPL103",
+                message=f"{label} uses global RNG state in code "
+                        f"reachable from _stream_worker "
+                        f"({fn_node.qualname}); every forked worker "
+                        "inherits and repeats the same stream — "
+                        "use a per-worker np.random.default_rng")
 
     # -- pre-fork stash (RPL104) --------------------------------------------
 

@@ -19,7 +19,7 @@ from .project import Module, Project
 _EXEMPT_SUFFIXES = ("cli.py",)
 
 
-def _is_exempt(module: Module) -> bool:
+def is_print_exempt(module: Module) -> bool:
     rel = module.rel_path
     return any(rel == s or rel.endswith("/" + s)
                for s in _EXEMPT_SUFFIXES)
@@ -29,11 +29,15 @@ class NoPrintChecker:
     """RPL501 over every non-CLI module."""
 
     codes = ("RPL501",)
+    scope = "local"
 
     def check(self, project: Project) -> Iterator[Finding]:
         for module in project.modules:
-            if _is_exempt(module):
-                continue
+            yield from self.check_module(project, module)
+
+    def check_module(self, project: Project, module: Module
+                     ) -> Iterator[Finding]:
+        if not is_print_exempt(module):
             for node in ast.walk(module.tree):
                 if isinstance(node, ast.Call) \
                         and isinstance(node.func, ast.Name) \

@@ -1,0 +1,117 @@
+"""Report serializers for CI surfaces: SARIF 2.1.0 and GitHub
+workflow commands.
+
+``repro lint --format sarif`` emits a single-run SARIF log CI uploads
+as an artifact (and code-scanning UIs ingest for inline PR
+annotations); ``--format github`` emits ``::error``/``::warning``
+workflow commands that annotate the diff directly from a plain step.
+Both derive from the same :class:`~repro.lint.driver.LintReport`, so
+text, JSON, SARIF, and GitHub renderings of one run agree finding for
+finding.
+
+Only the stable SARIF core is produced — ``tool.driver`` with a rule
+table, one ``result`` per finding with a ``physicalLocation`` — so the
+output validates against the 2.1.0 schema without optional-feature
+churn.  Rules carry the project code table's descriptions; external
+findings get synthesized per-tool rule ids (``ruff:E501``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .driver import LintReport
+from .findings import CODES, Finding
+
+#: The SARIF version this writer targets (and the test validates).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _relative(path: str, relative_to: Optional[Path]) -> str:
+    if relative_to is None:
+        return path
+    try:
+        return Path(path).resolve() \
+            .relative_to(relative_to.resolve()).as_posix()
+    except (ValueError, OSError):
+        return path
+
+
+def _rule_for(finding: Finding) -> Dict:
+    rule: Dict = {"id": finding.display_code}
+    description = CODES.get(finding.code) if finding.tool == "repro" \
+        else f"{finding.tool} finding {finding.code}"
+    if description:
+        rule["shortDescription"] = {"text": description}
+    return rule
+
+
+def to_sarif(report: LintReport,
+             relative_to: Optional[Path] = None) -> Dict:
+    """The report as a SARIF 2.1.0 log (a JSON-ready dict)."""
+    findings = sorted(report.findings, key=lambda f: f.sort_key())
+    rules: List[Dict] = []
+    rule_index: Dict[str, int] = {}
+    results: List[Dict] = []
+    for finding in findings:
+        rule_id = finding.display_code
+        if rule_id not in rule_index:
+            rule_index[rule_id] = len(rules)
+            rules.append(_rule_for(finding))
+        region: Dict = {"startLine": max(finding.line, 1)}
+        if finding.column:
+            region["startColumn"] = finding.column
+        results.append({
+            "ruleId": rule_id,
+            "ruleIndex": rule_index[rule_id],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _relative(finding.path, relative_to)},
+                    "region": region,
+                },
+            }],
+        })
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def to_github(report: LintReport,
+              relative_to: Optional[Path] = None) -> List[str]:
+    """The report as GitHub workflow-command lines (one per finding,
+    suppressed findings surfaced as notices so the annotation layer
+    shows what the gate chose to ignore)."""
+    lines: List[str] = []
+    for finding in sorted(report.findings, key=lambda f: f.sort_key()):
+        path = _relative(finding.path, relative_to)
+        message = finding.message.replace("%", "%25") \
+            .replace("\r", "%0D").replace("\n", "%0A")
+        lines.append(
+            f"::error file={path},line={finding.line},"
+            f"title={finding.display_code}::{message}")
+    for finding in sorted(report.suppressed,
+                          key=lambda f: f.sort_key()):
+        path = _relative(finding.path, relative_to)
+        lines.append(
+            f"::notice file={path},line={finding.line},"
+            f"title={finding.display_code} suppressed::suppressed by "
+            "a lint: ignore comment")
+    return lines

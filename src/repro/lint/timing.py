@@ -25,7 +25,7 @@ _MESSAGE = ("time.time() measures the adjustable wall clock; time "
             "forks)")
 
 
-def _is_exempt(module: Module) -> bool:
+def is_timing_exempt(module: Module) -> bool:
     """Test trees measure and mock clocks however they like."""
     parts = module.rel_path.split("/")
     if any(part == "tests" for part in parts[:-1]):
@@ -34,7 +34,7 @@ def _is_exempt(module: Module) -> bool:
     return name.startswith("test_") or name == "conftest.py"
 
 
-def _aliases(tree: ast.AST) -> tuple:
+def time_aliases(tree: ast.AST) -> tuple:
     """``(module_aliases, function_aliases)``: names bound to the
     ``time`` module and names bound to the ``time.time`` function."""
     modules: Set[str] = set()
@@ -56,27 +56,32 @@ class TimingChecker:
     """RPL601 over every non-test module."""
 
     codes = ("RPL601",)
+    scope = "local"
 
     def check(self, project: Project) -> Iterator[Finding]:
         for module in project.modules:
-            if _is_exempt(module):
+            yield from self.check_module(project, module)
+
+    def check_module(self, project: Project, module: Module
+                     ) -> Iterator[Finding]:
+        if is_timing_exempt(module):
+            return
+        modules, functions = time_aliases(module.tree)
+        if not modules and not functions:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
                 continue
-            modules, functions = _aliases(module.tree)
-            if not modules and not functions:
-                continue
-            for node in ast.walk(module.tree):
-                if not isinstance(node, ast.Call):
-                    continue
-                func = node.func
-                if isinstance(func, ast.Attribute) \
-                        and func.attr == "time" \
-                        and isinstance(func.value, ast.Name) \
-                        and func.value.id in modules:
-                    yield Finding(path=str(module.path),
-                                  line=node.lineno, code="RPL601",
-                                  message=_MESSAGE)
-                elif isinstance(func, ast.Name) \
-                        and func.id in functions:
-                    yield Finding(path=str(module.path),
-                                  line=node.lineno, code="RPL601",
-                                  message=_MESSAGE)
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr == "time" \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id in modules:
+                yield Finding(path=str(module.path),
+                              line=node.lineno, code="RPL601",
+                              message=_MESSAGE)
+            elif isinstance(func, ast.Name) \
+                    and func.id in functions:
+                yield Finding(path=str(module.path),
+                              line=node.lineno, code="RPL601",
+                              message=_MESSAGE)

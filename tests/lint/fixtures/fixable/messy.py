@@ -1,0 +1,35 @@
+"""Fixer fixture: one of everything ``--fix`` can rewrite."""
+
+import time
+from time import time as wall
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tag(item, labels={}, *, seen=set()):
+    """Two defaults on one signature, one of them keyword-only."""
+    labels[item] = True
+    seen.add(item)
+    return labels
+
+
+def report(status):
+    print(status)
+
+
+def measure(fn):
+    start = time.time()
+    fn()
+    return time.time() - start
+
+
+def stamp():
+    return wall()
+
+
+def keep_explicit(flag=None, pairs=()):
+    """Immutable defaults stay untouched."""
+    return flag, pairs

@@ -1,0 +1,25 @@
+"""Helpers one module away from the worker — the name-level checker
+never saw these; the call-graph checker must."""
+
+
+def tally(items):
+    return sum(score(item) for item in items)
+
+
+def score(item):
+    import numpy as np
+    return float(np.random.uniform())    # RPL103: reached cross-module
+
+
+def audit(items):
+    log = open("audit.log", "a")         # RPL102: reached cross-module
+    log.write(str(len(items)))
+    return items
+
+
+def unrelated_debug_dump(items):
+    """Never called from the worker: a same-name-free helper whose fd
+    open must NOT be flagged (no resolved path from _stream_worker)."""
+    sink = open("dump.bin", "wb")
+    sink.write(bytes(len(items)))
+    sink.close()

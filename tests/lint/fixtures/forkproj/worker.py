@@ -1,0 +1,24 @@
+"""A fork module whose worker-reachable code spans two modules."""
+
+from .helpers import audit, tally
+
+_FORK_STATE = {}
+
+
+class Pipeline:
+    def map_chunk(self, items):
+        return tally(audit(items))
+
+
+class Executor:
+    def __init__(self, pipeline: Pipeline, token: int) -> None:
+        _FORK_STATE[token] = pipeline
+
+
+def _stream_worker(token, tasks, results):
+    pipeline = _FORK_STATE[token]
+    while True:
+        work = tasks.get()
+        if work is None:
+            break
+        results.put(pipeline.map_chunk(work))

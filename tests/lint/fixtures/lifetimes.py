@@ -1,0 +1,74 @@
+"""Resource-lifetime fixture: leaks on the left, discipline on the
+right.  Each RPL701/RPL702 comment marks an expected finding line."""
+
+import socket
+
+from repro.index.store import open_index
+
+
+def leak_returned(path):
+    handle = open(path, "rb")                       # RPL701
+    header = handle.read(16)
+    return handle, header
+
+
+def leak_stashed(registry, path):
+    sock = socket.socket()                          # RPL701
+    registry["conn"] = sock
+    return registry
+
+
+class Stasher:
+    """No close() anywhere in the class: the stash is a leak."""
+
+    def __init__(self, path):
+        self.handle = open(path, "rb")              # RPL701
+
+
+class Owner:
+    """The class owns the handle: acquired in __init__, closed in
+    close().  Not a finding."""
+
+    def __init__(self, path):
+        self.handle = open(path, "rb")
+
+    def close(self):
+        self.handle.close()
+
+
+def scoped(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def closed_locally(path):
+    handle = open(path, "rb")
+    data = handle.read()
+    handle.close()
+    return data
+
+
+def finally_closed(path):
+    handle = None
+    try:
+        handle = open(path, "rb")
+        return handle.read()
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+def view_escapes(path):
+    with open_index(path) as idx:
+        return idx.seeds                            # RPL702
+
+
+def view_yielded(path):
+    with open_index(path) as idx:
+        yield idx.seeds[0]                          # RPL702
+
+
+def materialized(path, np):
+    with open_index(path) as idx:
+        seeds = np.array(idx.seeds)
+    return seeds

@@ -1,0 +1,15 @@
+"""Record sites: declared, typo'd, kind-mismatched, and dynamic."""
+
+
+def record(obs, name):
+    obs.counter("pipeline.chunks").inc()             # ok
+    obs.counter("pipeline.chunk").inc()              # RPL901: typo
+    obs.histogram("run.elapsed_s").observe(1.0)      # ok
+    obs.counter("run.elapsed_s").inc()               # RPL901: kind
+    obs.counter(f"engine.{name}.runs").inc()         # ok (family)
+    obs.counter(f"engine.{name}.fails").inc()        # RPL902
+    obs.counter(compute_name()).inc()                # dynamic var: skip
+
+
+def compute_name():
+    return "pipeline.chunks"

@@ -1,0 +1,10 @@
+"""Miniature metric catalog for the obs-contract checker tests."""
+
+STATIC_METRICS = {
+    "pipeline.chunks": ("counter", "chunks mapped"),
+    "run.elapsed_s": ("histogram", "wall seconds per run"),
+}
+
+METRIC_FAMILIES = (
+    ("engine.*.runs", "counter", "completed runs per engine"),
+)

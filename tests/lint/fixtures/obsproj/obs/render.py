@@ -1,0 +1,8 @@
+"""Renderer with one drifted lookup (RPL903) among valid ones."""
+
+
+def render(counters, histograms, engine):
+    rows = [counters.get("pipeline.chunks", 0)]
+    rows.append(counters.get("pipeline.total", 0))   # RPL903: drift
+    rows.append(histograms.get(f"engine.{engine}.runs", 0))
+    return rows

@@ -1,0 +1,64 @@
+"""Determinism fixture: hash-order and on-disk-order leaks, with the
+sorted() counterparts that must stay clean."""
+
+import glob
+import os
+
+
+def set_in_for(tags):
+    out = []
+    for tag in {t.lower() for t in tags}:           # RPL801
+        out.append(tag)
+    return out
+
+
+def set_in_join(names):
+    unique = set(names)
+    return ",".join(unique)                         # RPL801
+
+
+def set_in_list_conversion():
+    return list({"b", "a"})                         # RPL801
+
+
+def set_algebra_iterated(left, right):
+    wanted = set(left) - set(right)
+    return [item for item in wanted]                # RPL801
+
+
+def sorted_set_ok(names):
+    return ",".join(sorted(set(names)))
+
+
+def membership_ok(names, probe):
+    return probe in set(names)
+
+
+def listdir_in_for(root):
+    sizes = {}
+    for name in os.listdir(root):                   # RPL802
+        sizes[name] = len(name)
+    return sizes
+
+
+def listdir_returned(root):
+    return os.listdir(root)                         # RPL802
+
+
+def glob_in_comprehension(root):
+    return [p.upper() for p in glob.glob(root)]     # RPL802
+
+
+def iterdir_in_for(root):
+    out = []
+    for entry in root.iterdir():                    # RPL802
+        out.append(entry.name)
+    return out
+
+
+def sorted_listing_ok(root):
+    return sorted(os.listdir(root))
+
+
+def sorted_iteration_ok(root):
+    return [p for p in sorted(glob.glob(root))]

@@ -1,0 +1,139 @@
+"""Incremental cache: reuse, invalidation, and report identity."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.cache import LintCache, import_closure, module_imports
+from repro.lint.project import Project
+
+
+@pytest.fixture
+def tree(fixtures, tmp_path):
+    target = tmp_path / "forkproj"
+    shutil.copytree(fixtures / "forkproj", target)
+    return target
+
+
+def _run(tree, cache_path):
+    return run_lint([tree], external=False, cache_path=cache_path)
+
+
+class TestReuse:
+    def test_second_run_all_hits(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = _run(tree, cache)
+        hits, misses = cold.cache_stats
+        assert hits == 0 and misses > 0
+        warm = _run(tree, cache)
+        hits, misses = warm.cache_stats
+        assert misses == 0 and hits > 0
+
+    def test_warm_findings_identical(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = _run(tree, cache)
+        warm = _run(tree, cache)
+        assert [f.sort_key() for f in cold.findings] \
+            == [f.sort_key() for f in warm.findings]
+        assert [f.message for f in cold.findings] \
+            == [f.message for f in warm.findings]
+
+    def test_corrupt_cache_degrades_to_cold(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        report = _run(tree, cache)
+        hits, misses = report.cache_stats
+        assert hits == 0
+        # And the run rewrote it into a valid store.
+        json.loads(cache.read_text())
+
+
+class TestInvalidation:
+    def test_edited_file_recomputed(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        _run(tree, cache)
+        helpers = tree / "helpers.py"
+        helpers.write_text(helpers.read_text() + "\n# touched\n")
+        warm = _run(tree, cache)
+        hits, misses = warm.cache_stats
+        assert misses > 0 and hits > 0
+
+    def test_fork_global_invalidated_by_closure_member(
+            self, tree, tmp_path):
+        """helpers.py is in the worker's import closure: editing it
+        must re-run the (global) fork-safety checker and change its
+        findings."""
+        cache = tmp_path / "cache.json"
+        before = {f.sort_key() for f in _run(tree, cache).findings
+                  if f.code.startswith("RPL10")}
+        helpers = tree / "helpers.py"
+        source = helpers.read_text()
+        helpers.write_text(source.replace(
+            'log = open("audit.log", "a")', "log = None"))
+        after = {f.sort_key() for f in _run(tree, cache).findings
+                 if f.code.startswith("RPL10")}
+        assert before != after
+
+    def test_new_finding_after_edit(self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        _run(tree, cache)
+        worker = tree / "worker.py"
+        worker.write_text(worker.read_text()
+                          + "\n\ndef late(x=[]):\n    return x\n")
+        warm = _run(tree, cache)
+        assert any(f.code == "RPL201" for f in warm.findings)
+
+
+class TestImportClosure:
+    def test_one_hop_imports(self, fixtures):
+        project = Project.load(fixtures / "forkproj")
+        worker = project.by_rel_path["worker.py"]
+        imported = {m.rel_path for m in
+                    module_imports(project, worker)}
+        assert "helpers.py" in imported
+
+    def test_closure_contains_anchor_and_imports(self, fixtures):
+        project = Project.load(fixtures / "forkproj")
+        worker = project.by_rel_path["worker.py"]
+        closure = {m.rel_path
+                   for m in import_closure(project, [worker])}
+        assert {"worker.py", "helpers.py"} <= closure
+
+    def test_real_repo_fork_closure_is_proper_subset(self):
+        """Import-graph-aware: the fork checker's dependency set must
+        not be the whole tree (else every edit invalidates it)."""
+        from pathlib import Path
+        import repro
+        from repro.lint.driver import CHECKERS
+        project = Project.load(Path(repro.__file__).parent)
+        fork = next(c for c in CHECKERS
+                    if type(c).__name__ == "ForkSafetyChecker")
+        closure = fork.dependencies(project)
+        assert 0 < len(closure) < len(project.modules)
+
+
+class TestReportIdentity:
+    """Satellite: two back-to-back runs render byte-identically,
+    with and without a warm cache."""
+
+    def test_uncached_runs_byte_identical(self, fixtures):
+        first = run_lint([fixtures / "forkproj"], external=False)
+        second = run_lint([fixtures / "forkproj"], external=False)
+        assert first.render() == second.render()
+        assert json.dumps(first.to_json(), sort_keys=True) \
+            == json.dumps(second.to_json(), sort_keys=True)
+
+    def test_cached_run_byte_identical_to_uncached(
+            self, tree, tmp_path):
+        cache = tmp_path / "cache.json"
+        uncached = run_lint([tree], external=False)
+        cold = _run(tree, cache)
+        warm = _run(tree, cache)
+        rendered = uncached.render()
+        assert cold.render() == rendered
+        assert warm.render() == rendered
+        payload = json.dumps(uncached.to_json(), sort_keys=True)
+        assert json.dumps(cold.to_json(), sort_keys=True) == payload
+        assert json.dumps(warm.to_json(), sort_keys=True) == payload

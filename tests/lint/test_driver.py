@@ -36,6 +36,47 @@ class TestSuppression:
         report = run_lint([target], external=False)
         assert [f.code for f in report.findings] == ["RPL201"]
 
+    def test_external_findings_respect_suppressions(self, tmp_path,
+                                                    monkeypatch):
+        """A ``# lint: ignore[ruff:F401]`` silences the external
+        finding on that line too — the driver routes external tools
+        through the same suppression pass as the custom checkers."""
+        target = _write(tmp_path, "mod.py",
+                        "import os  # lint: ignore[ruff:F401]\n"
+                        "import sys\n")
+        import repro.lint.driver as driver
+
+        def fake_external(roots):
+            return ([Finding(path=str(target), line=1, code="F401",
+                             message="'os' imported but unused",
+                             tool="ruff"),
+                     Finding(path=str(target), line=2, code="F401",
+                             message="'sys' imported but unused",
+                             tool="ruff")], ["fake note"])
+
+        monkeypatch.setattr(driver, "run_external", fake_external)
+        report = run_lint([tmp_path], external=True)
+        assert [f.line for f in report.findings
+                if f.tool == "ruff"] == [2]
+        assert [f.line for f in report.suppressed] == [1]
+        assert report.notes == ["fake note"]
+
+    def test_suppressed_details_in_json(self, tmp_path):
+        target = _write(tmp_path, "mod.py",
+                        "def f(x, acc=[]):  # lint: ignore\n"
+                        "    return acc\n")
+        payload = run_lint([target], external=False).to_json()
+        assert payload["suppressed"] == [
+            {"path": str(target), "line": 1, "code": "RPL201"}]
+
+    def test_exclude_drops_path_fragment(self, tmp_path):
+        nested = tmp_path / "vendored"
+        nested.mkdir()
+        _write(nested, "mod.py", "def f(x, acc=[]):\n    return acc\n")
+        report = run_lint([tmp_path], external=False,
+                          exclude=["vendored"])
+        assert report.findings == []
+
     def test_parser(self):
         assert suppressed_codes("x = 1") is None
         bare = suppressed_codes("x = 1  # lint: ignore")

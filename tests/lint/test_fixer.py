@@ -1,0 +1,105 @@
+"""Autofixer (--fix/--diff): rewrites, idempotency, safety limits."""
+
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.fixer import FIXABLE_CODES, fix_paths
+
+
+@pytest.fixture
+def tree(fixtures, tmp_path):
+    """A throwaway copy of the fixable fixture tree."""
+    target = tmp_path / "fixable"
+    shutil.copytree(fixtures / "fixable", target)
+    return target
+
+
+def _apply(tree):
+    fixes = fix_paths([tree])
+    for fix in fixes:
+        fix.write()
+    return fixes
+
+
+class TestRewrites:
+    def test_all_families_fixed(self, tree):
+        fixes = _apply(tree)
+        counts = fixes[0].counts
+        assert set(counts) == set(FIXABLE_CODES)
+        assert counts["RPL201"] == 3
+
+    def test_fixed_tree_lints_clean(self, tree):
+        _apply(tree)
+        report = run_lint([tree], select=["RPL2", "RPL5", "RPL6"],
+                          external=False)
+        assert report.findings == []
+
+    def test_fixed_tree_still_parses(self, tree):
+        import ast
+        _apply(tree)
+        ast.parse((tree / "messy.py").read_text())
+
+    def test_guard_inserted_after_docstring(self, tree):
+        _apply(tree)
+        lines = (tree / "messy.py").read_text().splitlines()
+        docstring = next(i for i, line in enumerate(lines)
+                         if "keyword-only" in line)
+        assert lines[docstring + 1].strip() == "if labels is None:"
+        assert lines[docstring + 2].strip() == "labels = {}"
+
+    def test_alias_import_rewired_not_call_sites(self, tree):
+        _apply(tree)
+        source = (tree / "messy.py").read_text()
+        assert "from time import perf_counter as wall" in source
+        assert "return wall()" in source
+
+    def test_immutable_defaults_untouched(self, tree):
+        _apply(tree)
+        source = (tree / "messy.py").read_text()
+        assert "def keep_explicit(flag=None, pairs=()):" in source
+
+
+class TestIdempotency:
+    def test_second_run_is_noop(self, tree):
+        _apply(tree)
+        first = (tree / "messy.py").read_text()
+        assert _apply(tree) == []
+        assert (tree / "messy.py").read_text() == first
+
+
+class TestSafetyLimits:
+    def test_suppressed_line_not_fixed(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "def f(x=[]):  # lint: ignore[RPL201]\n"
+            "    return x\n")
+        assert fix_paths([tmp_path]) == []
+
+    def test_print_with_keywords_left_alone(self, tmp_path):
+        target = tmp_path / "mod.py"
+        source = ("def f(x):\n"
+                  "    print(x, end='')\n")
+        target.write_text(source)
+        assert fix_paths([tmp_path]) == []
+
+    def test_one_liner_body_left_alone(self, tmp_path):
+        target = tmp_path / "mod.py"
+        source = "def f(x=[]): return x\n"
+        target.write_text(source)
+        assert fix_paths([tmp_path]) == []
+
+
+class TestDiffPreview:
+    def test_diff_writes_nothing(self, tree):
+        before = (tree / "messy.py").read_text()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", "--diff",
+             str(tree)], capture_output=True, text=True)
+        assert proc.returncode == 0
+        assert "+++ " in proc.stdout
+        assert "bucket=None" in proc.stdout
+        assert (tree / "messy.py").read_text() == before

@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 and GitHub-annotation output of the lint report.
+
+No ``jsonschema`` in the container, so the SARIF test validates the
+log structurally against the parts of the 2.1.0 schema the writer
+uses: required top-level keys, run/tool/driver shape, per-result
+ruleId/ruleIndex/message/locations, and rule-table consistency."""
+
+import json
+
+from repro.lint import run_lint
+from repro.lint.sarif import SARIF_VERSION, to_github, to_sarif
+
+
+def _report(fixtures):
+    return run_lint([fixtures / "forkproj"], external=False)
+
+
+def _assert_valid_sarif(log):
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    assert isinstance(log["runs"], list) and len(log["runs"]) == 1
+    run = log["runs"][0]
+    driver = run["tool"]["driver"]
+    assert isinstance(driver["name"], str) and driver["name"]
+    rules = driver["rules"]
+    assert isinstance(rules, list)
+    for rule in rules:
+        assert isinstance(rule["id"], str) and rule["id"]
+    ids = [rule["id"] for rule in rules]
+    assert len(ids) == len(set(ids)), "duplicate rule ids"
+    for result in run["results"]:
+        assert result["ruleId"] in ids
+        assert ids[result["ruleIndex"]] == result["ruleId"]
+        assert result["level"] in ("error", "warning", "note")
+        assert isinstance(result["message"]["text"], str)
+        locations = result["locations"]
+        assert isinstance(locations, list) and locations
+        physical = locations[0]["physicalLocation"]
+        assert isinstance(
+            physical["artifactLocation"]["uri"], str)
+        region = physical["region"]
+        assert isinstance(region["startLine"], int)
+        assert region["startLine"] >= 1
+
+
+class TestSarif:
+    def test_log_validates_structurally(self, fixtures):
+        _assert_valid_sarif(to_sarif(_report(fixtures)))
+
+    def test_every_finding_becomes_a_result(self, fixtures):
+        report = _report(fixtures)
+        log = to_sarif(report)
+        assert len(log["runs"][0]["results"]) == len(report.findings)
+
+    def test_roundtrips_through_json(self, fixtures):
+        log = to_sarif(_report(fixtures))
+        assert json.loads(json.dumps(log)) == log
+
+    def test_relative_uris(self, fixtures):
+        log = to_sarif(_report(fixtures), relative_to=fixtures)
+        uris = [result["locations"][0]["physicalLocation"]
+                ["artifactLocation"]["uri"]
+                for result in log["runs"][0]["results"]]
+        assert uris and all(uri.startswith("forkproj/")
+                            for uri in uris)
+
+    def test_clean_report_is_valid_and_empty(self, fixtures):
+        report = run_lint([fixtures / "fork_safe.py"],
+                          external=False)
+        log = to_sarif(report)
+        _assert_valid_sarif(log)
+        assert log["runs"][0]["results"] == []
+
+
+class TestGithub:
+    def test_error_command_per_finding(self, fixtures):
+        report = _report(fixtures)
+        lines = to_github(report, relative_to=fixtures)
+        errors = [line for line in lines
+                  if line.startswith("::error ")]
+        assert len(errors) == len(report.findings)
+        assert all("file=" in line and ",line=" in line
+                   and "title=" in line for line in errors)
+
+    def test_newlines_escaped(self, fixtures):
+        from repro.lint.driver import LintReport
+        from repro.lint.findings import Finding
+        report = LintReport(findings=[Finding(
+            path="x.py", line=1, code="RPL101",
+            message="line one\nline two")])
+        (line,) = to_github(report)
+        assert "\n" not in line and "%0A" in line
+
+    def test_suppressed_become_notices(self, fixtures):
+        report = run_lint([fixtures / "timing_bad.py"],
+                          external=False)
+        assert report.suppressed
+        lines = to_github(report)
+        assert any(line.startswith("::notice ") for line in lines)

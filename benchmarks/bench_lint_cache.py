@@ -3,18 +3,25 @@
 ``repro lint --cache`` keys every checker run by content hash — local
 checkers per (file, environment digest), global checkers per
 import-closure digest — so an unchanged tree costs O(hash) instead of
-O(parse + analyze).  This bench runs the full nine-checker suite over
+O(parse + analyze).  This bench runs the full checker suite over
 the real ``src/repro`` package twice against the same cache file and
 gates the warm run at >=3x faster than the cold one (measured locally
 at ~16x; the 3x floor leaves headroom for slow CI hosts).
 
 The warm run must also reproduce the cold run's report byte-for-byte:
 a cache that changes findings is worse than no cache.
+
+A second test records what ``--jobs`` buys on a cold run: the per-file
+checkers farmed to a process pool, against the serial baseline.  The
+parallel report must match the serial one byte-for-byte; the wall
+numbers are recorded, not gated (pool startup dominates on small
+trees and CI hosts vary too much for a stable floor).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -28,9 +35,10 @@ from repro.util import format_table
 MIN_SPEEDUP = 3.0
 
 
-def _timed(package, cache_path):
+def _timed(package, cache_path, jobs=None):
     start = time.perf_counter()
-    report = run_lint([package], external=False, cache_path=cache_path)
+    report = run_lint([package], external=False, cache_path=cache_path,
+                      jobs=jobs)
     return time.perf_counter() - start, report
 
 
@@ -65,3 +73,27 @@ def test_lint_cache(tmp_path):
         f"warm lint run only {speedup:.1f}x faster than cold "
         f"(cold {cold_s:.2f}s, warm {warm_s:.2f}s); gate is "
         f">={MIN_SPEEDUP:.0f}x")
+
+
+def test_lint_parallel_jobs():
+    package = Path(repro.__file__).parent
+    jobs = min(4, os.cpu_count() or 1)
+
+    serial_s, serial = _timed(package, cache_path=None)
+    parallel_s, parallel = _timed(package, cache_path=None, jobs=jobs)
+    speedup = serial_s / parallel_s
+
+    rows = [
+        ("serial (cold, no cache)", f"{serial_s * 1e3:,.0f} ms", ""),
+        (f"--jobs {jobs} (cold, no cache)",
+         f"{parallel_s * 1e3:,.0f} ms", ""),
+        ("speedup", f"{speedup:.2f}x", "recorded, not gated"),
+    ]
+    emit("lint_parallel",
+         f"lint --jobs {jobs}: cold serial vs process pool over "
+         "src/repro\n"
+         + format_table(("run", "wall", "note"), rows))
+
+    assert parallel.render() == serial.render()
+    assert json.dumps(parallel.to_json(), sort_keys=True) \
+        == json.dumps(serial.to_json(), sort_keys=True)

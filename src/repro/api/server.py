@@ -69,6 +69,7 @@ from typing import Any, Dict, Optional, Union
 
 from ..genome.sequence import encode
 from ..obs import capture_trace, get_registry, host_metadata, span
+from ..util.sync import maybe_sanitize_lock
 from .engines import stats_dict
 from .mapper import Mapper
 
@@ -85,28 +86,42 @@ class ServerError(RuntimeError):
 
 @dataclass
 class ServerStats:
-    """Aggregate request counters, reported by the ``stats`` op."""
+    """Aggregate request counters, reported by the ``stats`` op.
+
+    Every mutation runs under ``_lock``: connection threads record
+    concurrently, and ``requests += 1`` / ``by_op`` get-and-add are
+    exactly the lost-update shapes the RPL1002 lint flags.
+    """
 
     started_monotonic: float = field(default_factory=time.monotonic)
     requests: int = 0
     errors: int = 0
     pairs_mapped: int = 0
     by_op: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=lambda: maybe_sanitize_lock("serve.stats"),
+        repr=False, compare=False)
 
     def record(self, op: str, pairs: int = 0) -> None:
-        self.requests += 1
-        self.pairs_mapped += pairs
-        self.by_op[op] = self.by_op.get(op, 0) + 1
+        with self._lock:
+            self.requests += 1
+            self.pairs_mapped += pairs
+            self.by_op[op] = self.by_op.get(op, 0) + 1
+
+    def count_error(self) -> None:
+        with self._lock:
+            self.errors += 1
 
     @property
     def uptime_s(self) -> float:
         return time.monotonic() - self.started_monotonic
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"requests": self.requests, "errors": self.errors,
-                "pairs_mapped": self.pairs_mapped,
-                "uptime_s": round(self.uptime_s, 3),
-                "by_op": dict(self.by_op)}
+        with self._lock:
+            return {"requests": self.requests, "errors": self.errors,
+                    "pairs_mapped": self.pairs_mapped,
+                    "uptime_s": round(self.uptime_s, 3),
+                    "by_op": dict(self.by_op)}
 
 
 # Any engine's stats dataclass as plain JSON types (one definition,
@@ -141,7 +156,9 @@ class MapServer:
         self.mapper = mapper
         self.socket_path = str(socket_path)
         self.stats = ServerStats()
-        self._map_lock = threading.Lock()
+        # A SanitizedLock under REPRO_SANITIZE=1 (owner/order checks
+        # in the concurrency stress tests), a plain Lock otherwise.
+        self._map_lock = maybe_sanitize_lock("serve.map")
         self._stop = threading.Event()
         self._threads: list = []
         self._claim_socket(backlog)
@@ -283,7 +300,7 @@ class MapServer:
         """One failed request: the server total and, when metrics are
         on, the ``serve.errors`` counter (every error path goes
         through here so the two never drift)."""
-        self.stats.errors += 1
+        self.stats.count_error()
         obs = get_registry()
         if obs.enabled:
             obs.counter("serve.errors").inc()

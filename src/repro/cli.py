@@ -608,9 +608,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         cache_path = Path(args.cache_path)
     elif args.cache:
         cache_path = Path.cwd() / DEFAULT_CACHE_NAME
+    jobs = args.jobs
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
     report = run_lint(roots, select=select, ignore=ignore,
                       external=not args.no_external,
-                      cache_path=cache_path, exclude=exclude)
+                      cache_path=cache_path, exclude=exclude,
+                      jobs=jobs)
+    baseline_root = Path.cwd()
+    if args.update_baseline:
+        from .lint.baseline import write_baseline
+        count = write_baseline(report.findings,
+                               Path(args.update_baseline),
+                               baseline_root)
+        print(f"baseline: recorded {count} finding(s) to "
+              f"{args.update_baseline}")
+        return 0
+    if args.baseline:
+        from .lint.baseline import apply_baseline
+        report.findings, absorbed = apply_baseline(
+            report.findings, Path(args.baseline), baseline_root)
+        if absorbed:
+            report.notes.append(
+                f"baseline: {absorbed} finding(s) absorbed by "
+                f"{args.baseline}")
     fmt = args.format or ("json" if args.json else "text")
     if fmt == "json":
         print(json.dumps(report.to_json(), indent=2))
@@ -906,6 +927,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("--cache-path", default=None,
                           help="incremental cache location (implies "
                                "--cache)")
+    lint_cmd.add_argument("--jobs", type=int, default=None,
+                          metavar="N",
+                          help="run the per-file checkers in a "
+                               "process pool of N workers (report is "
+                               "byte-identical to a serial run; 0 = "
+                               "one per CPU)")
+    lint_cmd.add_argument("--baseline", default=None, metavar="PATH",
+                          help="subtract this findings snapshot and "
+                               "report/gate only regressions")
+    lint_cmd.add_argument("--update-baseline", default=None,
+                          metavar="PATH",
+                          help="write the current findings to PATH as "
+                               "a baseline snapshot and exit 0")
     lint_cmd.add_argument("--list-codes", action="store_true",
                           help="print the finding-code table and exit")
     lint_cmd.set_defaults(func=_cmd_lint)

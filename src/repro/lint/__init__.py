@@ -76,7 +76,36 @@ Code         Meaning
              ``obs/render.py`` references an undeclared name, or the
              README metric table (between the ``lint:metric-catalog``
              markers) disagrees with the catalog's entries or kinds
+``RPL1001``  concurrency: write to thread-shared state (an attribute
+             or module global reached from several thread roots, or
+             from one spawned multiply) with no lock held on any call
+             path into the write
+``RPL1002``  concurrency: non-atomic read-modify-write (``x += 1``,
+             ``d[k] = d[k] + v``, ``d[k] = d.get(k, 0) + v``) of
+             thread-shared state with no lock held — concurrent
+             threads lose updates
+``RPL1003``  concurrency: lock-order inversion — two thread-reachable
+             functions acquire the same two locks in opposite orders,
+             so two threads can deadlock
+``RPL1004``  concurrency: blocking call (``time.sleep``, socket
+             ``recv``/``accept``, ``subprocess`` waits, timeout-less
+             ``join``/``wait``/``get``) while holding a lock — every
+             thread waiting on the lock stalls behind it
+``RPL1005``  concurrency: a collection mutated inside its own ``for``
+             loop in thread-reachable code (raises or skips entries)
 ===========  ===============================================================
+
+The RPL1xxx family builds on the call graph: thread roots are
+``threading.Thread(target=...)`` targets (including ones resolved
+through ``getattr(obj, f"_op_{...}")`` dispatch), locksets propagate
+interprocedurally as the *intersection* over call paths (a helper
+whose every caller holds the lock is guarded without a lexical
+``with`` of its own), and lock identities follow imports to their
+defining module so order edges agree across files.  The matching
+*runtime* check is :mod:`repro.util.sync`: ``REPRO_SANITIZE=1`` wraps
+the shared-state locks in :class:`~repro.util.sync.SanitizedLock`,
+which raises on double-acquire, foreign release, and lock-order
+inversion as they happen.
 
 Suppression
 -----------
@@ -100,6 +129,19 @@ exits 2 on any finding — the CI gate.  ``--select``/``--ignore`` take
 comma-separated code prefixes; ``--exclude FRAGMENT`` (repeatable)
 drops paths containing the fragment; ``--list-codes`` prints the
 table above, tagging the autofixable codes.
+
+``--jobs N`` runs the per-file checkers in a process pool of ``N``
+workers (``0`` = one per CPU); the report is byte-identical to a
+serial run — results are reassembled in (checker, module) order
+before rendering, and the parent owns the cache, so parallelism
+changes wall-clock only.
+
+``--update-baseline PATH`` snapshots the current findings;
+``--baseline PATH`` subtracts that snapshot from a later run so
+``--strict`` gates only *regressions* — which is how a new checker
+family lands strict in CI before the historical findings are fixed.
+Matching is a counted multiset over (path, code, message), so
+findings may move between lines without tripping the gate.
 
 Autofix
 -------

@@ -1,0 +1,88 @@
+"""Finding baselines: adopt a checker family before the cleanup.
+
+A new family often fires on pre-existing code.  Requiring the same PR
+to fix every historical finding makes strict CI adoption all-or-
+nothing; a *baseline* decouples the two.  ``repro lint
+--update-baseline PATH`` snapshots the current findings;
+``repro lint --baseline PATH`` then subtracts the snapshot from every
+later run, so ``--strict`` gates only **regressions** — new findings,
+or more findings of a recorded kind than the snapshot allows.
+
+Matching is a counted multiset over ``(root-relative path,
+display code, message)``: a baselined finding may move to another
+*line* of the same file without tripping the gate (routine edits shift
+lines), but a second instance of it, or the same message in another
+file, is a regression.  Fixed findings simply leave their budget
+unused — rewrite the baseline with ``--update-baseline`` to shrink it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+_Key = Tuple[str, str, str]
+
+
+def _finding_key(finding: Finding, root: Path) -> _Key:
+    try:
+        shown = Path(finding.path).resolve().relative_to(
+            root.resolve()).as_posix()
+    except (ValueError, OSError):
+        shown = Path(finding.path).as_posix()
+    return (shown, finding.display_code, finding.message)
+
+
+def write_baseline(findings: Iterable[Finding], path: Path,
+                   root: Path) -> int:
+    """Snapshot ``findings`` (counted, sorted, root-relative) to
+    ``path``; returns how many findings were recorded."""
+    counts: Dict[_Key, int] = {}
+    for finding in findings:
+        key = _finding_key(finding, root)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "version": 1,
+        "findings": [
+            {"path": file_path, "code": code, "message": message,
+             "count": count}
+            for (file_path, code, message), count
+            in sorted(counts.items())],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return sum(counts.values())
+
+
+def load_baseline(path: Path) -> Dict[_Key, int]:
+    """The per-key finding budget a baseline file grants."""
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != 1:
+        raise ValueError(
+            f"unsupported lint baseline version in {path}: "
+            f"{data.get('version')!r}")
+    budget: Dict[_Key, int] = {}
+    for entry in data.get("findings", []):
+        key = (entry["path"], entry["code"], entry["message"])
+        budget[key] = budget.get(key, 0) + int(entry.get("count", 1))
+    return budget
+
+
+def apply_baseline(findings: List[Finding], path: Path,
+                   root: Path) -> Tuple[List[Finding], int]:
+    """``(regressions, baselined_count)``: the findings a baselined
+    run still reports, and how many the baseline absorbed."""
+    budget = load_baseline(path)
+    kept: List[Finding] = []
+    absorbed = 0
+    for finding in findings:
+        key = _finding_key(finding, root)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            absorbed += 1
+        else:
+            kept.append(finding)
+    return kept, absorbed

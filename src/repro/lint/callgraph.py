@@ -24,7 +24,18 @@ name matching:
 * subscripts of :data:`~repro.core.pipeline._FORK_STATE` are typed by
   the union of every type the project stores into it — this is how
   ``pipeline = _FORK_STATE[token]`` inside the worker connects to the
-  ``GenPairPipeline`` the executor registered pre-fork.
+  ``GenPairPipeline`` the executor registered pre-fork;
+* a call to a function or method whose **return annotation** names a
+  project class types the call expression — this is how
+  ``get_registry().counter(name).inc()`` connects the daemon's
+  connection threads to :class:`~repro.obs.metrics.Counter.inc`.
+
+Nested ``def``\\ s are indexed as nodes too (qualified as
+``outer.inner``): they never gain resolved *edges* from name calls —
+the enclosing function's edge set already covers their bodies via the
+AST walk — but they are addressable as **thread roots** when passed to
+``threading.Thread(target=...)``, which is what the concurrency
+checker needs for ``read_ahead``'s prefetcher.
 
 A call that does not resolve contributes no edge: the graph is
 deliberately *under*-approximate, and the checkers built on it say so
@@ -48,12 +59,17 @@ class FunctionNode:
     __slots__ = ("module", "cls", "node", "qualname")
 
     def __init__(self, module: Module, node: ast.FunctionDef,
-                 cls: Optional[ast.ClassDef] = None) -> None:
+                 cls: Optional[ast.ClassDef] = None,
+                 parent: Optional["FunctionNode"] = None) -> None:
         self.module = module
         self.cls = cls
         self.node = node
-        self.qualname = f"{cls.name}.{node.name}" if cls is not None \
-            else node.name
+        if parent is not None:
+            self.qualname = f"{parent.qualname}.{node.name}"
+        elif cls is not None:
+            self.qualname = f"{cls.name}.{node.name}"
+        else:
+            self.qualname = node.name
 
     @property
     def key(self) -> Tuple[str, str, int]:
@@ -144,10 +160,38 @@ class CallGraph:
                         self._add_node(module, item, node)
 
     def _add_node(self, module: Module, fn: ast.FunctionDef,
-                  cls: Optional[ast.ClassDef]) -> FunctionNode:
-        node = FunctionNode(module, fn, cls)
+                  cls: Optional[ast.ClassDef],
+                  parent: Optional[FunctionNode] = None) -> FunctionNode:
+        node = FunctionNode(module, fn, cls, parent=parent)
         self._nodes[id(fn)] = node
+        # Index nested defs too (see the module docstring): they are
+        # addressable thread-spawn targets even though the enclosing
+        # function's edges already cover their bodies.
+        for child in ast.iter_child_nodes(fn):
+            self._index_nested(module, child, node)
         return node
+
+    def _index_nested(self, module: Module, stmt: ast.AST,
+                      parent: FunctionNode) -> None:
+        for child in ast.walk(stmt):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)) \
+                    and id(child) not in self._nodes:
+                self._add_node(module, child, parent.cls, parent=parent)
+
+    def nested_functions(self, node: FunctionNode
+                         ) -> Dict[str, FunctionNode]:
+        """``name -> node`` for every def nested (at any depth) inside
+        ``node`` — the thread-spawn target lookup for local workers."""
+        out: Dict[str, FunctionNode] = {}
+        for child in ast.walk(node.node):
+            if child is node.node:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested = self._nodes.get(id(child))
+                if nested is not None:
+                    out.setdefault(child.name, nested)
+        return out
 
     def node_for(self, fn: ast.FunctionDef) -> Optional[FunctionNode]:
         return self._nodes.get(id(fn))
@@ -299,19 +343,44 @@ class CallGraph:
             func = expr.func
             if isinstance(func, ast.Name):
                 resolved = self._resolve_symbol(module, func.id)
-                if resolved is not None and resolved[0] == "class":
-                    return resolved[1], resolved[2]
-            elif isinstance(func, ast.Attribute) \
-                    and isinstance(func.value, ast.Name):
-                bindings = self._bindings.get(module.dotted)
-                target_dotted = bindings.module_aliases.get(
-                    func.value.id) if bindings else None
-                if target_dotted is not None:
-                    target = self.project.by_dotted.get(target_dotted)
-                    if target is not None:
-                        found = find_class(target.tree, func.attr)
-                        if found is not None:
-                            return target, found
+                if resolved is not None:
+                    if resolved[0] == "class":
+                        return resolved[1], resolved[2]
+                    # A plain function call: typed by its return
+                    # annotation when it names a project class
+                    # (``get_registry() -> MetricsRegistry``).
+                    return self._annotation_class(resolved[1],
+                                                  resolved[2].returns)
+            elif isinstance(func, ast.Attribute):
+                if isinstance(func.value, ast.Name):
+                    bindings = self._bindings.get(module.dotted)
+                    target_dotted = bindings.module_aliases.get(
+                        func.value.id) if bindings else None
+                    if target_dotted is not None:
+                        target = self.project.by_dotted.get(
+                            target_dotted)
+                        if target is not None:
+                            found = find_class(target.tree, func.attr)
+                            if found is not None:
+                                return target, found
+                            resolved = self._resolve_symbol(target,
+                                                            func.attr)
+                            if resolved is not None \
+                                    and resolved[0] == "func":
+                                return self._annotation_class(
+                                    resolved[1], resolved[2].returns)
+                            return None
+                # A method call on a typed receiver: typed by the
+                # method's return annotation
+                # (``registry.counter(name) -> Counter``).
+                owner = self._expression_type(module, func.value, env,
+                                              cls)
+                if owner is not None:
+                    methods = self.project.methods(owner[0], owner[1])
+                    method = methods.get(func.attr)
+                    if method is not None:
+                        return self._annotation_class(owner[0],
+                                                      method.returns)
             return None
         if isinstance(expr, ast.Subscript):
             # The _FORK_STATE dataflow seam: ``_FORK_STATE[token]``
@@ -343,6 +412,113 @@ class CallGraph:
                                 seen.add(key)
                                 self._fork_state_types.append(typed)
 
+    # -- public typing surface (the concurrency checker's seam) --------
+
+    def local_env(self, node: FunctionNode
+                  ) -> Dict[str, Tuple[Module, ast.ClassDef]]:
+        """The dataflow type environment of one function: parameter
+        annotations plus single-assignment locals, the same
+        environment :meth:`callees` resolves with."""
+        module = node.module
+        env = self._parameter_types(module, node.node, node.cls)
+        for stmt in ast.walk(node.node):
+            if isinstance(stmt, ast.Assign) \
+                    and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                typed = self._expression_type(module, stmt.value, env,
+                                              node.cls)
+                if typed is not None:
+                    env.setdefault(stmt.targets[0].id, typed)
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                typed = self._annotation_class(module, stmt.annotation)
+                if typed is not None:
+                    env.setdefault(stmt.target.id, typed)
+        return env
+
+    def type_of(self, node: FunctionNode, expr: ast.expr,
+                env=None) -> Optional[Tuple[Module, ast.ClassDef]]:
+        """The project class ``expr`` evaluates to inside ``node``
+        (``env`` defaults to :meth:`local_env`)."""
+        if env is None:
+            env = self.local_env(node)
+        return self._expression_type(node.module, expr, env, node.cls)
+
+    def resolve_callable(self, node: FunctionNode, expr: ast.expr,
+                         env=None) -> Optional[FunctionNode]:
+        """The function/method node a callable-valued expression names
+        from inside ``node`` — a bare function name, a nested def, a
+        class (its ``__init__``), a module-alias attribute, or a bound
+        method on a typed receiver (``self._serve_connection``).  The
+        thread-spawn ``target=`` and per-call-site resolver."""
+        if env is None:
+            env = self.local_env(node)
+        if isinstance(expr, ast.Name):
+            nested = self.nested_functions(node).get(expr.id)
+            if nested is not None:
+                return nested
+            resolved = self._resolve_symbol(node.module, expr.id)
+            if resolved is not None:
+                if resolved[0] == "func":
+                    return self._nodes.get(id(resolved[2]))
+                init = self.project.methods(resolved[1],
+                                            resolved[2]).get("__init__")
+                return self._nodes.get(id(init)) \
+                    if init is not None else None
+            return None
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name):
+                bindings = self._bindings.get(node.module.dotted)
+                alias = bindings.module_aliases.get(expr.value.id) \
+                    if bindings else None
+                if alias is not None:
+                    target = self.project.by_dotted.get(alias)
+                    if target is not None:
+                        resolved = self._resolve_symbol(target,
+                                                        expr.attr)
+                        if resolved is None:
+                            return None
+                        if resolved[0] == "func":
+                            return self._nodes.get(id(resolved[2]))
+                        init = self.project.methods(
+                            resolved[1], resolved[2]).get("__init__")
+                        return self._nodes.get(id(init)) \
+                            if init is not None else None
+            owner = self._expression_type(node.module, expr.value, env,
+                                          node.cls)
+            if owner is not None:
+                methods = self.project.methods(owner[0], owner[1])
+                fn = methods.get(expr.attr)
+                if fn is not None:
+                    return self._nodes.get(id(fn))
+        return None
+
+    def resolve_constructor(self, node: FunctionNode, expr: ast.expr
+                            ) -> Optional[Tuple[Module, ast.ClassDef]]:
+        """The project class ``expr`` *constructs* when it is a direct
+        ``SomeClass(...)`` call (never a method or factory returning
+        one) — the concurrency checker's fresh-receiver test."""
+        if not isinstance(expr, ast.Call):
+            return None
+        func = expr.func
+        if isinstance(func, ast.Name):
+            resolved = self._resolve_symbol(node.module, func.id)
+            if resolved is not None and resolved[0] == "class":
+                return resolved[1], resolved[2]
+            return None
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            bindings = self._bindings.get(node.module.dotted)
+            alias = bindings.module_aliases.get(func.value.id) \
+                if bindings else None
+            if alias is not None:
+                target = self.project.by_dotted.get(alias)
+                if target is not None:
+                    found = find_class(target.tree, func.attr)
+                    if found is not None:
+                        return target, found
+        return None
+
     # -- edges ---------------------------------------------------------
 
     def callees(self, node: FunctionNode) -> List[FunctionNode]:
@@ -352,7 +528,7 @@ class CallGraph:
         if cached is not None:
             return cached
         module = node.module
-        env = self._parameter_types(module, node.node, node.cls)
+        env = self.local_env(node)
         targets: List[FunctionNode] = []
         seen: Set[int] = set()
 

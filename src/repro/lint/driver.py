@@ -26,9 +26,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .cache import LintCache, content_hash, global_key, local_key
+from .concurrency import ConcurrencyChecker
 from .determinism import DeterminismChecker
 from .external import run_external
 from .findings import Finding, suppressed_codes
@@ -53,6 +54,7 @@ CHECKERS = (
     ResourceLifetimeChecker(),
     DeterminismChecker(),
     ObsContractChecker(),
+    ConcurrencyChecker(),
 )
 
 
@@ -167,13 +169,17 @@ def lint_paths(roots: Sequence[Path]) -> List[Project]:
     return [Project.load(root) for root in unique]
 
 
+def _is_local(checker) -> bool:
+    return getattr(checker, "scope", "global") == "local" \
+        and hasattr(checker, "check_module")
+
+
 def _run_checker(project: Project, checker,
                  cache: Optional[LintCache]) -> List[Finding]:
     """One checker over one project, through the cache when enabled."""
     if cache is None:
         return list(checker.check(project))
-    if getattr(checker, "scope", "global") == "local" \
-            and hasattr(checker, "check_module"):
+    if _is_local(checker):
         env = checker.environment(project) \
             if hasattr(checker, "environment") else ""
         env_digest = content_hash(env) if env else ""
@@ -198,12 +204,96 @@ def _run_checker(project: Project, checker,
     return cached
 
 
+# -- process-pool execution of the local checkers ------------------------
+
+#: The worker's lazily loaded project, keyed by root string.  Loaded
+#: once per worker process by :func:`_pool_check`, reused for every
+#: farmed (checker, module) task of that root.
+_POOL_PROJECTS: Dict[str, Project] = {}
+
+
+def _pool_check(task: tuple) -> List[Finding]:
+    """One farmed unit: run ``CHECKERS[checker_index]`` over module
+    ``module_index`` of the project rooted at ``root``."""
+    root, checker_index, module_index = task
+    project = _POOL_PROJECTS.get(root)
+    if project is None:
+        project = _POOL_PROJECTS[root] = Project.load(Path(root))
+    checker = CHECKERS[checker_index]
+    module = project.modules[module_index]
+    return list(checker.check_module(project, module))
+
+
+def _run_checkers_parallel(project: Project,
+                           cache: Optional[LintCache],
+                           jobs: int) -> List[List[Finding]]:
+    """Per-``CHECKERS``-slot finding lists, with the local checkers'
+    per-module units run in a process pool.
+
+    Output is **byte-identical** to the serial path: results are
+    reassembled in (checker, module) order before anything downstream
+    sees them, so parallelism changes wall-clock only.  Global
+    checkers (whole-project analyses) run in-process; the parent does
+    every cache lookup and store, so the pool only sees misses.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    slot_results: Dict[Tuple[int, int], List[Finding]] = {}
+    farm: List[tuple] = []
+    digests: Dict[int, str] = {}
+    for checker_index, checker in enumerate(CHECKERS):
+        if not _is_local(checker):
+            continue
+        env = checker.environment(project) \
+            if hasattr(checker, "environment") else ""
+        digests[checker_index] = content_hash(env) if env else ""
+        for module_index, module in enumerate(project.modules):
+            cached = None
+            if cache is not None:
+                key = local_key(checker, module,
+                                digests[checker_index])
+                cached = cache.lookup_local(project.root, checker,
+                                            module, key)
+            if cached is not None:
+                slot_results[(checker_index, module_index)] = cached
+            else:
+                farm.append((str(project.root), checker_index,
+                             module_index))
+    if farm:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            chunk = max(1, len(farm) // (jobs * 4))
+            for task, findings in zip(
+                    farm, pool.map(_pool_check, farm,
+                                   chunksize=chunk)):
+                _, checker_index, module_index = task
+                slot_results[(checker_index, module_index)] = findings
+                if cache is not None:
+                    checker = CHECKERS[checker_index]
+                    module = project.modules[module_index]
+                    key = local_key(checker, module,
+                                    digests[checker_index])
+                    cache.store_local(project.root, checker, module,
+                                      key, findings)
+    out: List[List[Finding]] = []
+    for checker_index, checker in enumerate(CHECKERS):
+        if _is_local(checker):
+            merged: List[Finding] = []
+            for module_index in range(len(project.modules)):
+                merged.extend(
+                    slot_results[(checker_index, module_index)])
+            out.append(merged)
+        else:
+            out.append(_run_checker(project, checker, cache))
+    return out
+
+
 def run_lint(roots: Sequence[Path],
              select: Optional[Sequence[str]] = None,
              ignore: Optional[Sequence[str]] = None,
              external: bool = True,
              cache_path: Optional[Path] = None,
-             exclude: Optional[Sequence[str]] = None) -> LintReport:
+             exclude: Optional[Sequence[str]] = None,
+             jobs: Optional[int] = None) -> LintReport:
     """Run every checker over ``roots`` and return the report.
 
     ``select``/``ignore`` are code *prefixes* (``RPL1`` covers the
@@ -213,7 +303,9 @@ def run_lint(roots: Sequence[Path],
     ``external=False`` skips ruff/mypy entirely (the unit tests and
     quick local runs).  ``cache_path`` enables the incremental cache
     at that location; ``None`` (the default, and what the unit tests
-    use) runs everything fresh.
+    use) runs everything fresh.  ``jobs`` > 1 runs the per-file
+    checkers in a process pool of that size; the report is
+    byte-identical to a serial run.
     """
     report = LintReport()
     cache = LintCache.load(cache_path) \
@@ -231,10 +323,14 @@ def run_lint(roots: Sequence[Path],
             if _selected(finding, select, ignore) \
                     and not _excluded(finding, exclude):
                 report.findings.append(finding)
-        for checker in CHECKERS:
-            _apply_suppressions(by_path,
-                                _run_checker(project, checker, cache),
-                                report, select, ignore, exclude)
+        if jobs is not None and jobs > 1:
+            per_checker = _run_checkers_parallel(project, cache, jobs)
+        else:
+            per_checker = [_run_checker(project, checker, cache)
+                           for checker in CHECKERS]
+        for findings in per_checker:
+            _apply_suppressions(by_path, findings, report, select,
+                                ignore, exclude)
     if external:
         findings, notes = run_external(
             [project.root for project in projects])

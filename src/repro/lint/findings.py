@@ -53,6 +53,15 @@ CODES = {
     "RPL902": "dynamic metric name matches no declared metric family",
     "RPL903": "metric catalog drift: renderer or README references a "
               "name the catalog does not declare",
+    "RPL1001": "write to shared state in thread-reachable code with "
+               "no lock held",
+    "RPL1002": "non-atomic read-modify-write on shared state in "
+               "thread-reachable code (lost updates)",
+    "RPL1003": "lock-order inversion between two locks (deadlock)",
+    "RPL1004": "blocking call while holding a lock in "
+               "thread-reachable code",
+    "RPL1005": "collection mutated while being iterated in "
+               "thread-reachable code",
 }
 
 _SUPPRESS_RE = re.compile(

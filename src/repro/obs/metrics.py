@@ -3,16 +3,28 @@
 One :class:`MetricsRegistry` per process (:func:`get_registry`) holds
 every metric the instrumented layers record — pipeline stage timings,
 executor queue waits, per-engine run counters, daemon request
-latencies.  Three properties drive the design:
+latencies.  Four properties drive the design:
 
-* **Fork safety.**  Metrics are plain Python ints/floats in plain
-  dicts — no locks, no file descriptors, nothing the forked
+* **Fork safety.**  Metric *objects* are plain Python ints/floats in
+  plain dicts — no file descriptors, nothing per-registry the forked
   :func:`~repro.core.pipeline._stream_worker` children could corrupt
   or deadlock on.  Workers record into a *fresh per-chunk registry*
   and ship :meth:`MetricsRegistry.snapshot` dictionaries back through
   the existing ordered-merge path; the parent folds them with
   :meth:`MetricsRegistry.merge_snapshot` in chunk order, so counter
   folds are bit-identical between ``workers=1`` and ``workers=N``.
+* **Thread safety.**  The daemon records from one thread per
+  connection, so every mutation — counter increments, histogram
+  observes, get-or-create dict inserts, snapshot/merge/reset — runs
+  under one *module-level* lock (:data:`_REGISTRY_LOCK`).  Module
+  level, not per-registry, keeps the fork story intact: constructing
+  a ``MetricsRegistry`` never constructs a threading primitive in
+  worker-reachable code (the fork-safety family's RPL101), and the
+  lock is re-armed in forked children via ``os.register_at_fork`` so
+  a parent thread holding it at fork time cannot deadlock the child.
+  Under ``REPRO_SANITIZE=1`` the lock is a
+  :class:`~repro.util.sync.SanitizedLock`, which turns unguarded or
+  misordered access into hard errors in the concurrency stress tests.
 * **Deterministic merging.**  Histogram bucket bounds are *fixed*
   (log-spaced, :data:`BUCKET_BOUNDS`) rather than adaptive, so two
   snapshots merge by elementwise addition — no re-bucketing, no
@@ -35,6 +47,8 @@ import platform
 import sys
 from bisect import bisect_left
 from typing import Dict, Optional, Union
+
+from ..util.sync import maybe_sanitize_lock, on_sanitize_toggle
 
 #: Fixed histogram bucket upper bounds (seconds): 1/2.5/5 per decade
 #: from 1e-5 up through 5e1, plus an implicit overflow bucket.  Fixed
@@ -64,6 +78,24 @@ def metrics_enabled() -> bool:
     return _ENABLED
 
 
+#: The one lock guarding every metric mutation in this process.
+#: Module-level by design (see the module docstring): per-registry
+#: locks would put a threading-primitive construction on the forked
+#: worker's path, and a lock captured mid-acquire at fork time would
+#: deadlock the child — so the child re-arms a fresh one instead.
+_REGISTRY_LOCK = maybe_sanitize_lock("metrics_registry")
+
+
+def _rearm_registry_lock() -> None:
+    global _REGISTRY_LOCK
+    _REGISTRY_LOCK = maybe_sanitize_lock("metrics_registry")
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_rearm_registry_lock)
+on_sanitize_toggle(_rearm_registry_lock)
+
+
 class Counter:
     """A monotonically increasing integer counter."""
 
@@ -73,7 +105,8 @@ class Counter:
         self.value = 0
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with _REGISTRY_LOCK:
+            self.value += amount
 
 
 class Gauge:
@@ -85,7 +118,8 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with _REGISTRY_LOCK:
+            self.value = float(value)
 
 
 class Histogram:
@@ -107,13 +141,14 @@ class Histogram:
         self.max = float("-inf")
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with _REGISTRY_LOCK:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -162,42 +197,53 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         metric = self._counters.get(name)
         if metric is None:
-            metric = self._counters[name] = Counter()
+            with _REGISTRY_LOCK:
+                metric = self._counters.get(name)
+                if metric is None:
+                    metric = self._counters[name] = Counter()
         return metric
 
     def gauge(self, name: str) -> Gauge:
         metric = self._gauges.get(name)
         if metric is None:
-            metric = self._gauges[name] = Gauge()
+            with _REGISTRY_LOCK:
+                metric = self._gauges.get(name)
+                if metric is None:
+                    metric = self._gauges[name] = Gauge()
         return metric
 
     def histogram(self, name: str) -> Histogram:
         metric = self._histograms.get(name)
         if metric is None:
-            metric = self._histograms[name] = Histogram()
+            with _REGISTRY_LOCK:
+                metric = self._histograms.get(name)
+                if metric is None:
+                    metric = self._histograms[name] = Histogram()
         return metric
 
     # -- snapshot / merge / reset --------------------------------------
 
     def snapshot(self) -> Dict[str, Dict]:
-        """Every metric as plain JSON types (the wire/fold form)."""
-        histograms = {}
-        for name, hist in self._histograms.items():
-            histograms[name] = {
-                "bounds": list(hist.bounds),
-                "counts": list(hist.counts),
-                "count": hist.count,
-                "sum": hist.sum,
-                "min": hist.min if hist.count else 0.0,
-                "max": hist.max if hist.count else 0.0,
+        """Every metric as plain JSON types (the wire/fold form),
+        captured atomically with respect to concurrent recording."""
+        with _REGISTRY_LOCK:
+            histograms = {}
+            for name, hist in self._histograms.items():
+                histograms[name] = {
+                    "bounds": list(hist.bounds),
+                    "counts": list(hist.counts),
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "min": hist.min if hist.count else 0.0,
+                    "max": hist.max if hist.count else 0.0,
+                }
+            return {
+                "counters": {name: c.value
+                             for name, c in self._counters.items()},
+                "gauges": {name: g.value
+                           for name, g in self._gauges.items()},
+                "histograms": histograms,
             }
-        return {
-            "counters": {name: c.value
-                         for name, c in self._counters.items()},
-            "gauges": {name: g.value
-                       for name, g in self._gauges.items()},
-            "histograms": histograms,
-        }
 
     def merge_snapshot(self, snapshot: Dict[str, Dict]) -> None:
         """Fold a :meth:`snapshot` dictionary into the live metrics.
@@ -206,32 +252,47 @@ class MetricsRegistry:
         make this exact); gauges are last-write-wins.  Folding worker
         snapshots in chunk order keeps counter totals bit-identical
         to a single-process run.
+
+        The whole fold is one critical section.  The get-or-create and
+        add steps are inlined rather than routed through
+        :meth:`counter`/:meth:`Counter.inc` because those take the
+        (non-reentrant) registry lock themselves.
         """
-        for name, value in snapshot.get("counters", {}).items():
-            self.counter(name).inc(value)
-        for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name).set(value)
-        for name, data in snapshot.get("histograms", {}).items():
-            hist = self.histogram(name)
-            if tuple(data["bounds"]) != hist.bounds:
-                raise ValueError(
-                    f"histogram {name!r}: snapshot bucket bounds do "
-                    "not match this registry's (fixed bounds are what "
-                    "make merges deterministic)")
-            counts = data["counts"]
-            for index, bucket in enumerate(counts):
-                hist.counts[index] += bucket
-            if data["count"]:
-                hist.count += data["count"]
-                hist.sum += data["sum"]
-                hist.min = min(hist.min, data["min"])
-                hist.max = max(hist.max, data["max"])
+        with _REGISTRY_LOCK:
+            for name, value in snapshot.get("counters", {}).items():
+                metric = self._counters.get(name)
+                if metric is None:
+                    metric = self._counters[name] = Counter()
+                metric.value += value
+            for name, value in snapshot.get("gauges", {}).items():
+                gauge = self._gauges.get(name)
+                if gauge is None:
+                    gauge = self._gauges[name] = Gauge()
+                gauge.value = float(value)
+            for name, data in snapshot.get("histograms", {}).items():
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = Histogram()
+                if tuple(data["bounds"]) != hist.bounds:
+                    raise ValueError(
+                        f"histogram {name!r}: snapshot bucket bounds "
+                        "do not match this registry's (fixed bounds "
+                        "are what make merges deterministic)")
+                counts = data["counts"]
+                for index, bucket in enumerate(counts):
+                    hist.counts[index] += bucket
+                if data["count"]:
+                    hist.count += data["count"]
+                    hist.sum += data["sum"]
+                    hist.min = min(hist.min, data["min"])
+                    hist.max = max(hist.max, data["max"])
 
     def reset(self) -> None:
         """Drop every metric (tests and long-lived daemons)."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with _REGISTRY_LOCK:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
 
 #: The process-wide registry every instrumented layer records into.

@@ -1,7 +1,13 @@
 """Shared utilities for benches and examples."""
 
 from .diagnostics import is_quiet, note, set_quiet, warn
+from .sync import (SanitizedLock, SanitizerError, maybe_sanitize_lock,
+                   on_sanitize_toggle, reset_order_graph,
+                   sanitize_enabled, set_sanitize)
 from .tables import format_table, paper_vs_measured
 
-__all__ = ["format_table", "is_quiet", "note", "paper_vs_measured",
-           "set_quiet", "warn"]
+__all__ = ["SanitizedLock", "SanitizerError", "format_table",
+           "is_quiet", "maybe_sanitize_lock", "note",
+           "on_sanitize_toggle", "paper_vs_measured",
+           "reset_order_graph", "sanitize_enabled", "set_quiet",
+           "set_sanitize", "warn"]

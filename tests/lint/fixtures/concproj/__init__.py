@@ -1,0 +1,3 @@
+"""Deliberately racy fixture project for the RPL1xxx concurrency
+family: every pattern the checker must flag, plus correctly locked
+negatives it must stay quiet about."""

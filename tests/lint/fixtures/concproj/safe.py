@@ -1,0 +1,46 @@
+"""Correctly locked counterparts: the checker must stay quiet here.
+
+``_bump_unlocked`` in particular has no lexical lock of its own — it
+is clean only because every call path into it already holds
+``self._lock``, which is exactly what the interprocedural entry
+lockset is for.
+"""
+
+import threading
+
+
+class GuardedBox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def bump_twice(self):
+        with self._lock:
+            self._bump_unlocked()
+            self._bump_unlocked()
+
+    def _bump_unlocked(self):
+        # Every caller holds self._lock; the entry lockset keeps
+        # this write guarded without a lexical lock here.
+        self.value += 1
+
+
+BOX = GuardedBox()
+
+
+def safe_worker(box: GuardedBox):
+    box.bump()
+    box.bump_twice()
+
+
+def spawn_safe(count):
+    threads = []
+    for _ in range(count):
+        thread = threading.Thread(target=safe_worker, args=(BOX,))
+        thread.start()
+        threads.append(thread)
+    return threads

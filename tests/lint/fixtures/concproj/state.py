@@ -1,0 +1,23 @@
+"""Shared state and locks the worker fixtures mutate."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+#: Mutated while iterated by ``workers.drain_backlog`` (RPL1005).
+BACKLOG = {"stale": 1}
+
+
+class Stats:
+    """Stats object shared by every worker thread."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.noted = 0
+
+    def record(self, op):
+        # RPL1002: non-atomic read-modify-write without the lock.
+        self.requests += 1
+        self.noted += 1  # lint: ignore[RPL1002]

@@ -1,0 +1,54 @@
+"""Worker threads exercising each RPL1001-RPL1005 pattern."""
+
+import threading
+import time
+
+from .state import BACKLOG, LOCK_A, LOCK_B, Stats
+
+STATS = Stats()
+LAST_OP = ""
+
+
+def record_plain(stats: Stats, op):
+    global LAST_OP
+    # RPL1001: unguarded write to state shared across worker threads.
+    LAST_OP = op
+    stats.record(op)
+
+
+def lock_then_sleep():
+    with LOCK_A:
+        with LOCK_B:
+            pass
+        # RPL1004: blocking call while holding LOCK_A.
+        time.sleep(0.01)
+
+
+def inverted_order():
+    with LOCK_B:
+        # RPL1003: inverts lock_then_sleep's LOCK_A -> LOCK_B order.
+        with LOCK_A:
+            pass
+
+
+def drain_backlog():
+    for key in BACKLOG:
+        # RPL1005: mutates the dict being iterated.
+        del BACKLOG[key]
+
+
+def worker_loop(stats: Stats, op):
+    record_plain(stats, op)
+    lock_then_sleep()
+    inverted_order()
+    drain_backlog()
+
+
+def spawn_workers(count):
+    threads = []
+    for _ in range(count):
+        thread = threading.Thread(target=worker_loop,
+                                  args=(STATS, "map"))
+        thread.start()
+        threads.append(thread)
+    return threads

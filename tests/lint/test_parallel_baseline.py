@@ -1,0 +1,101 @@
+"""``--jobs`` byte-identity and ``--baseline`` regression gating."""
+
+import dataclasses
+import json
+
+from repro.lint import run_lint
+from repro.lint.baseline import (apply_baseline, load_baseline,
+                                 write_baseline)
+from repro.lint.cache import DEFAULT_CACHE_NAME
+from repro.lint.driver import LintReport
+
+
+class TestParallelJobs:
+    def test_report_byte_identical_to_serial(self, fixtures):
+        serial = run_lint([fixtures], external=False)
+        par = run_lint([fixtures], external=False, jobs=4)
+        assert serial.render() == par.render()
+        assert [f.sort_key() for f in serial.suppressed] \
+            == [f.sort_key() for f in par.suppressed]
+        assert serial.findings  # the fixture tree is not empty
+
+    def test_json_byte_identical_to_serial(self, fixtures):
+        serial = run_lint([fixtures], external=False)
+        par = run_lint([fixtures], external=False, jobs=2)
+        assert json.dumps(serial.to_json(), sort_keys=True) \
+            == json.dumps(par.to_json(), sort_keys=True)
+
+    def test_parallel_fills_the_cache(self, fixtures, tmp_path):
+        """A parallel cold run stores what a serial warm run hits."""
+        cache = tmp_path / DEFAULT_CACHE_NAME
+        cold = run_lint([fixtures], external=False, cache_path=cache,
+                        jobs=4)
+        warm = run_lint([fixtures], external=False, cache_path=cache)
+        assert cold.render() == warm.render()
+        hits, misses = warm.cache_stats
+        assert misses == 0 and hits > 0
+
+    def test_jobs_one_takes_serial_path(self, fixtures):
+        assert run_lint([fixtures], external=False, jobs=1).render() \
+            == run_lint([fixtures], external=False).render()
+
+
+class TestBaseline:
+    def _findings(self, fixtures):
+        return run_lint([fixtures / "concproj"], select=["RPL100"],
+                        external=False).findings
+
+    def test_roundtrip_absorbs_everything(self, fixtures, tmp_path):
+        findings = self._findings(fixtures)
+        path = tmp_path / "lint-baseline.json"
+        recorded = write_baseline(findings, path, fixtures)
+        assert recorded == len(findings) > 0
+        kept, absorbed = apply_baseline(findings, path, fixtures)
+        assert kept == [] and absorbed == len(findings)
+
+    def test_new_finding_is_a_regression(self, fixtures, tmp_path):
+        findings = self._findings(fixtures)
+        path = tmp_path / "lint-baseline.json"
+        write_baseline(findings[:-1], path, fixtures)
+        kept, absorbed = apply_baseline(findings, path, fixtures)
+        assert len(kept) == 1 and absorbed == len(findings) - 1
+        assert kept[0].message == findings[-1].message
+
+    def test_line_moves_do_not_regress(self, fixtures, tmp_path):
+        """Matching ignores line numbers: routine edits shift lines
+        without tripping the gate."""
+        findings = self._findings(fixtures)
+        path = tmp_path / "lint-baseline.json"
+        write_baseline(findings, path, fixtures)
+        moved = [dataclasses.replace(f, line=f.line + 100)
+                 for f in findings]
+        kept, _ = apply_baseline(moved, path, fixtures)
+        assert kept == []
+
+    def test_duplicate_counts_are_budgeted(self, fixtures, tmp_path):
+        """A second instance of a baselined finding is a regression
+        (counted multiset, not a set)."""
+        findings = self._findings(fixtures)
+        path = tmp_path / "lint-baseline.json"
+        write_baseline(findings, path, fixtures)
+        doubled = findings + [findings[0]]
+        kept, absorbed = apply_baseline(doubled, path, fixtures)
+        assert absorbed == len(findings) and len(kept) == 1
+
+    def test_version_gate(self, tmp_path):
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        try:
+            load_baseline(path)
+        except ValueError as exc:
+            assert "version" in str(exc)
+        else:
+            raise AssertionError("expected a version error")
+
+    def test_empty_report_stays_clean(self, tmp_path):
+        path = tmp_path / "empty.json"
+        write_baseline([], path, tmp_path)
+        report = LintReport()
+        kept, absorbed = apply_baseline(report.findings, path,
+                                        tmp_path)
+        assert kept == [] and absorbed == 0

@@ -1,0 +1,127 @@
+"""The runtime lock sanitizer (repro.util.sync)."""
+
+import threading
+
+import pytest
+
+from repro.util.sync import (SanitizedLock, SanitizerError,
+                             maybe_sanitize_lock, reset_order_graph,
+                             sanitize_enabled, set_sanitize)
+
+
+@pytest.fixture
+def sanitize():
+    previous = set_sanitize(True)
+    reset_order_graph()
+    yield
+    set_sanitize(previous)
+    reset_order_graph()
+
+
+class TestToggle:
+    def test_set_sanitize_roundtrip(self):
+        previous = set_sanitize(True)
+        try:
+            assert sanitize_enabled()
+            assert set_sanitize(False) is True
+            assert not sanitize_enabled()
+        finally:
+            set_sanitize(previous)
+
+    def test_maybe_sanitize_lock_follows_flag(self):
+        previous = set_sanitize(False)
+        try:
+            plain = maybe_sanitize_lock("t_plain")
+            assert not isinstance(plain, SanitizedLock)
+            set_sanitize(True)
+            wrapped = maybe_sanitize_lock("t_wrapped")
+            assert isinstance(wrapped, SanitizedLock)
+        finally:
+            set_sanitize(previous)
+            reset_order_graph()
+
+    def test_toggle_rearms_metrics_lock(self):
+        """Flipping the flag swaps the metrics registry lock through
+        the registered callback (and recording still works)."""
+        from repro.obs import metrics
+        previous = set_sanitize(True)
+        try:
+            assert isinstance(metrics._REGISTRY_LOCK, SanitizedLock)
+            registry = metrics.MetricsRegistry()
+            registry.counter("sync.toggle").inc()
+            assert registry.snapshot()["counters"]["sync.toggle"] == 1
+        finally:
+            set_sanitize(previous)
+            reset_order_graph()
+        if not previous:
+            assert not isinstance(metrics._REGISTRY_LOCK,
+                                  SanitizedLock)
+
+
+class TestSanitizedLock:
+    def test_owner_tracking(self, sanitize):
+        lock = SanitizedLock("t_owner")
+        assert not lock.owned()
+        with lock:
+            assert lock.owned() and lock.locked()
+            lock.assert_owned("guarded section")
+        assert not lock.owned() and not lock.locked()
+
+    def test_double_acquire_raises(self, sanitize):
+        lock = SanitizedLock("t_double")
+        with lock:
+            with pytest.raises(SanitizerError):
+                lock.acquire()
+
+    def test_release_by_non_owner_raises(self, sanitize):
+        lock = SanitizedLock("t_foreign")
+        lock.acquire()
+        try:
+            errors = []
+
+            def rogue():
+                try:
+                    lock.release()
+                except SanitizerError as exc:
+                    errors.append(exc)
+
+            thread = threading.Thread(target=rogue)
+            thread.start()
+            thread.join()
+            assert errors
+        finally:
+            lock.release()
+
+    def test_assert_owned_raises_when_unheld(self, sanitize):
+        lock = SanitizedLock("t_unheld")
+        with pytest.raises(SanitizerError):
+            lock.assert_owned("metrics mutation")
+
+    def test_order_inversion_raises(self, sanitize):
+        first = SanitizedLock("t_order_a")
+        second = SanitizedLock("t_order_b")
+        with first:
+            with second:
+                pass
+        with second:
+            with pytest.raises(SanitizerError):
+                first.acquire()
+
+    def test_consistent_order_is_fine(self, sanitize):
+        first = SanitizedLock("t_ok_a")
+        second = SanitizedLock("t_ok_b")
+        for _ in range(3):
+            with first:
+                with second:
+                    pass
+
+    def test_reset_order_graph_forgets_edges(self, sanitize):
+        first = SanitizedLock("t_fresh_a")
+        second = SanitizedLock("t_fresh_b")
+        with first:
+            with second:
+                pass
+        reset_order_graph()
+        with second:
+            with first:
+                pass

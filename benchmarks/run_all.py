@@ -31,6 +31,7 @@ GATED = (
     "bench_index_load.py",
     "bench_stream_workers.py",
     "bench_serve.py",
+    "bench_serve_concurrent.py",
     "bench_engines.py",
     "bench_lint_cache.py",
 )
@@ -72,7 +73,7 @@ def run_bench(name: str) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="run the gated benches, write BENCH_<pr>.json")
-    parser.add_argument("--pr", type=int, default=7,
+    parser.add_argument("--pr", type=int, default=10,
                         help="PR number stamped into the output name")
     parser.add_argument("--out", default=None,
                         help="output path (default: "

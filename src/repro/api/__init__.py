@@ -75,18 +75,22 @@ _EXPORTS = {
     "MappingResult": "engines",
     "Mapper": "mapper",
     "MapServer": "server",
+    "ServeSettings": "server",
     "ServerError": "server",
     "ServerStats": "server",
     "serve": "server",
     "Client": "client",
     "ClientError": "client",
+    "RequestTimeoutError": "client",
+    "ServerBusyError": "client",
 }
 
 __all__ = sorted(_EXPORTS)
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from ..genome.results import MappingResult
-    from .client import Client, ClientError
+    from .client import (Client, ClientError, RequestTimeoutError,
+                         ServerBusyError)
     from .config import (UNSET, IndexFingerprint, LongReadOptions,
                          MappingConfig, MappingConfigError, Mm2Options)
     from .engines import (Engine, GenPairEngine, LongReadEngine,
@@ -95,7 +99,8 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from .registry import (ALIGNERS, ENGINES, FILTER_CHAINS,
                            OUTPUT_FORMATS, OutputFormat, RegistryError,
                            StageRegistry, output_format)
-    from .server import MapServer, ServerError, ServerStats, serve
+    from .server import (MapServer, ServeSettings, ServerError,
+                         ServerStats, serve)
 
 
 def __getattr__(name: str):

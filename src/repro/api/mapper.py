@@ -37,6 +37,7 @@ from ..genome.io_fasta import iter_pairs, iter_reads, read_fasta
 from ..genome.reference import ReferenceGenome
 from ..genome.results import MappingResult, result_records
 from ..obs import get_registry
+from ..util.sync import maybe_sanitize_lock
 from .config import MappingConfig, MappingConfigError
 from .engines import INPUT_SINGLE, Engine, merge_stats, stats_dict
 from .registry import ENGINES, output_format
@@ -69,6 +70,10 @@ class Mapper:
         self.seedmap = seedmap
         self.index = index
         self._engines: Dict[str, Engine] = {}
+        # The serving tier resolves engines from connection threads
+        # while the scheduler maps; the cache get-or-create below must
+        # not double-build (a SanitizedLock under REPRO_SANITIZE=1).
+        self._engines_lock = maybe_sanitize_lock("api.engines")
         self._totals: Dict[str, Any] = {}
         self.last_stats = PipelineStats()
         self.last_engine: Optional[str] = None
@@ -157,11 +162,12 @@ class Mapper:
         """
         self._assert_open()
         name = name if name is not None else self.config.engine
-        engine = self._engines.get(name)
-        if engine is None:
-            engine = ENGINES.create(name, self)
-            self._engines[name] = engine
-            self._totals.setdefault(name, engine.fresh_stats())
+        with self._engines_lock:
+            engine = self._engines.get(name)
+            if engine is None:
+                engine = ENGINES.create(name, self)
+                self._engines[name] = engine
+                self._totals.setdefault(name, engine.fresh_stats())
         return engine
 
     @property

@@ -1,562 +1,23 @@
-"""The ``repro serve`` daemon: a warm Mapper behind a UNIX socket.
+"""Back-compat shim: the daemon now lives in :mod:`repro.serve`.
 
-``repro map`` pays index open, fallback construction, and worker-pool
-fork on every invocation.  The daemon pays them **once**: a
-:class:`MapServer` holds a live :class:`~repro.api.Mapper` (memory-
-mapped index + persistent worker pool) and answers mapping requests
-over a UNIX-domain stream socket for as long as it runs — the
-wrap-the-persistent-aligner architecture production mappers use.
+PR 4 introduced the serve daemon here; the concurrent serving tier
+(TCP + UNIX listeners, request coalescing, backpressure, deadlines)
+replaced it with the layered :mod:`repro.serve` package.  Every public
+name this module ever exported is re-exported, so ``from
+repro.api.server import MapServer`` (and the lazy ``repro.api``
+exports that route here) keep working unchanged.
 
-Wire protocol — newline-delimited JSON, one object per line, one
-response line per request line; a connection may carry any number of
-requests.  Operations:
-
-``ping``
-    Liveness probe.  Response carries ``pid``, ``uptime_s``, the index
-    path, the config snapshot, and the registered engines/formats.
-``map``
-    Map workload items shipped inline.  Paired engines:
-    ``{"op": "map", "pairs": [[read1, read2, name?], ...]}``;
-    the single-read ``longread`` engine: ``{"op": "map", "engine":
-    "longread", "reads": [[read, name?], ...]}`` — reads as ACGT
-    strings either way.  Optional ``"engine"`` and ``"format"`` keys
-    select any registered engine/output format **per request** against
-    the one warm facade (engine instances are built lazily and
-    reused).  Responds with ``{"lines": [...]}`` — record lines in the
-    requested format (plus header lines first when ``"header": true``;
-    ``"sam"`` is kept as an alias when the format is SAM) — and
-    per-request ``stats``/``elapsed_s``.
-``map_file``
-    Map server-side FASTQ paths and write an output file server-side:
-    ``{"op": "map_file", "reads1": ..., "reads2": ..., "out": ...}``
-    (``reads2`` omitted for single-read engines), plus the same
-    optional ``"engine"``/``"format"`` keys.  The heavy-duty path: no
-    reads cross the socket, and the output is byte-identical to an
-    offline ``repro map`` with the same config (asserted in the test
-    suite and the CI smoke job).
-``stats``
-    Cumulative mapper counters (GenPair-compatible ``mapper`` plus
-    per-engine ``engines``), server totals (requests served, pairs
-    mapped, per-op counts, errors), the full process metrics registry
-    snapshot (``metrics`` — per-stage latency histograms, per-worker
-    executor timings, request latencies by op), and ``host`` metadata.
-
-Mapping requests additionally accept ``"trace": true``, which returns
-a per-stage span breakdown (``serve.map`` / ``serve.render`` plus the
-in-process pipeline spans) alongside the normal response.  Request
-counts and latencies are also recorded per op into the metrics
-registry (``serve.requests.<op>`` / ``serve.request_s.<op>``, and
-``serve.map_s.<engine>.<format>`` for mapping work).
-``shutdown``
-    Acknowledge, then stop the accept loop and tear the mapper down.
-
-Every response carries ``"ok"``; failures answer ``{"ok": false,
-"error": ...}`` and the connection stays usable.  SIGTERM/SIGINT (via
-:func:`serve`) shut down gracefully: in-flight requests finish, the
-socket file is unlinked, worker pools are closed.
+``MAX_REQUEST_BYTES`` lives in :mod:`repro.serve.protocol` now; the
+name here is a plain alias kept for import compatibility — patch the
+protocol module to change the live limit.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import socket
-import threading
-import time
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from ..serve.listeners import ServerError
+from ..serve.protocol import MAX_REQUEST_BYTES, ServerStats
+from ..serve.scheduler import ServeSettings
+from ..serve.server import MapServer, serve
 
-from ..genome.sequence import encode
-from ..obs import capture_trace, get_registry, host_metadata, span
-from ..util.sync import maybe_sanitize_lock
-from .engines import stats_dict
-from .mapper import Mapper
-
-PathLike = Union[str, Path]
-
-#: Largest accepted request line (a guard against a runaway client;
-#: ~64 MiB comfortably holds a few hundred thousand inline pairs).
-MAX_REQUEST_BYTES = 64 * 1024 * 1024
-
-
-class ServerError(RuntimeError):
-    """The daemon could not start (e.g. the socket is already served)."""
-
-
-@dataclass
-class ServerStats:
-    """Aggregate request counters, reported by the ``stats`` op.
-
-    Every mutation runs under ``_lock``: connection threads record
-    concurrently, and ``requests += 1`` / ``by_op`` get-and-add are
-    exactly the lost-update shapes the RPL1002 lint flags.
-    """
-
-    started_monotonic: float = field(default_factory=time.monotonic)
-    requests: int = 0
-    errors: int = 0
-    pairs_mapped: int = 0
-    by_op: Dict[str, int] = field(default_factory=dict)
-    _lock: threading.Lock = field(
-        default_factory=lambda: maybe_sanitize_lock("serve.stats"),
-        repr=False, compare=False)
-
-    def record(self, op: str, pairs: int = 0) -> None:
-        with self._lock:
-            self.requests += 1
-            self.pairs_mapped += pairs
-            self.by_op[op] = self.by_op.get(op, 0) + 1
-
-    def count_error(self) -> None:
-        with self._lock:
-            self.errors += 1
-
-    @property
-    def uptime_s(self) -> float:
-        return time.monotonic() - self.started_monotonic
-
-    def to_dict(self) -> Dict[str, Any]:
-        with self._lock:
-            return {"requests": self.requests, "errors": self.errors,
-                    "pairs_mapped": self.pairs_mapped,
-                    "uptime_s": round(self.uptime_s, 3),
-                    "by_op": dict(self.by_op)}
-
-
-# Any engine's stats dataclass as plain JSON types (one definition,
-# shared with Mapper.engine_stats).
-_stats_dict = stats_dict
-
-
-def _units(stats: Dict[str, int]) -> int:
-    """How many workload items a per-run stats dict accounts for
-    (pairs for the paired engines, reads for single-read ones)."""
-    for key in ("pairs_total", "pairs_seen", "reads_total"):
-        if key in stats:
-            return stats[key]
-    return 0
-
-
-class MapServer:
-    """Serve mapping requests from one warm :class:`Mapper`.
-
-    The mapper is exercised under a lock — requests are mapped one at
-    a time (the pipeline itself fans out to the worker pool) — while
-    connections are handled in threads, so a slow or idle client never
-    blocks another client's requests, only overlapping *mapping* work
-    is serialized.
-    """
-
-    def __init__(self, mapper: Mapper, socket_path: PathLike,
-                 backlog: int = 16) -> None:
-        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover
-            raise ServerError("repro serve requires UNIX-domain "
-                              "sockets, which this platform lacks")
-        self.mapper = mapper
-        self.socket_path = str(socket_path)
-        self.stats = ServerStats()
-        # A SanitizedLock under REPRO_SANITIZE=1 (owner/order checks
-        # in the concurrency stress tests), a plain Lock otherwise.
-        self._map_lock = maybe_sanitize_lock("serve.map")
-        self._stop = threading.Event()
-        self._threads: list = []
-        self._claim_socket(backlog)
-        # Fork the worker pool now, while still single-threaded, so
-        # the first request finds it warm.
-        try:
-            mapper.warm_up()
-        except BaseException:
-            self._listener.close()
-            try:
-                os.unlink(self.socket_path)
-            except OSError:
-                pass
-            raise
-
-    def _claim_socket(self, backlog: int) -> None:
-        """Bind the socket path, refusing to evict a live daemon.
-
-        A stale socket file (machine rebooted, daemon killed -9) is
-        unlinked; one that still answers connections is somebody
-        else's live server.
-        """
-        if os.path.exists(self.socket_path):
-            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            probe.settimeout(0.5)
-            try:
-                probe.connect(self.socket_path)
-            except OSError:
-                try:
-                    os.unlink(self.socket_path)  # stale leftover
-                except OSError as exc:
-                    raise ServerError(
-                        f"cannot reclaim stale socket "
-                        f"{self.socket_path!r}: {exc}") from None
-            else:
-                probe.close()
-                raise ServerError(
-                    f"{self.socket_path!r} is already being served; "
-                    "stop that daemon first (repro client shutdown)")
-            finally:
-                probe.close()
-        self._listener = socket.socket(socket.AF_UNIX,
-                                       socket.SOCK_STREAM)
-        try:
-            self._listener.bind(self.socket_path)
-            self._listener.listen(backlog)
-            # Wake the accept loop periodically to notice shutdown.
-            self._listener.settimeout(0.2)
-        except OSError as exc:
-            self._listener.close()
-            raise ServerError(
-                f"cannot bind {self.socket_path!r}: {exc}") from None
-
-    # -- main loop -----------------------------------------------------
-
-    def serve_forever(self) -> None:
-        """Accept and serve connections until :meth:`request_shutdown`."""
-        try:
-            while not self._stop.is_set():
-                try:
-                    conn, _ = self._listener.accept()
-                except socket.timeout:
-                    continue
-                except OSError:
-                    break  # listener closed under us during shutdown
-                thread = threading.Thread(
-                    target=self._serve_connection, args=(conn,),
-                    name="repro-serve-conn", daemon=True)
-                thread.start()
-                self._threads.append(thread)
-                self._threads = [t for t in self._threads
-                                 if t.is_alive()]
-        finally:
-            self.close()
-
-    def request_shutdown(self) -> None:
-        """Ask the accept loop to stop (signal-handler safe)."""
-        self._stop.set()
-
-    def close(self) -> None:
-        """Stop accepting, finish in-flight requests, release resources."""
-        self._stop.set()
-        try:
-            self._listener.close()
-        except OSError:  # pragma: no cover
-            pass
-        # Let an in-flight mapping request finish before teardown:
-        # mapping runs under _map_lock, so holding it here means the
-        # mapper (and its worker pool) is never closed under an active
-        # request — a request that slips in afterwards gets a clean
-        # "Mapper is closed" error response instead of a truncated run.
-        with self._map_lock:
-            self.mapper.close()
-        for thread in self._threads:
-            thread.join(timeout=5.0)
-        try:
-            os.unlink(self.socket_path)
-        except OSError:
-            pass
-
-    # -- connection handling -------------------------------------------
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        with conn:
-            reader = conn.makefile("rb")
-            try:
-                while not self._stop.is_set():
-                    line = reader.readline(MAX_REQUEST_BYTES)
-                    if not line:
-                        return
-                    if len(line) >= MAX_REQUEST_BYTES \
-                            and not line.endswith(b"\n"):
-                        # A partial read of an over-limit request:
-                        # the rest of the line is still in the pipe,
-                        # so answering and reading on would pair
-                        # later responses with the wrong requests.
-                        # Reject once and drop the connection.
-                        self._count_error()
-                        conn.sendall(json.dumps(
-                            {"ok": False,
-                             "error": "request exceeds "
-                                      f"{MAX_REQUEST_BYTES} bytes; "
-                                      "use map_file for large "
-                                      "inputs"}).encode() + b"\n")
-                        return
-                    response = self._dispatch_line(line)
-                    conn.sendall(json.dumps(response).encode()
-                                 + b"\n")
-                    if response.get("op") == "shutdown" \
-                            and response.get("ok"):
-                        self.request_shutdown()
-                        return
-            except (OSError, ValueError):
-                return  # client went away mid-exchange
-            finally:
-                reader.close()
-
-    def _count_error(self) -> None:
-        """One failed request: the server total and, when metrics are
-        on, the ``serve.errors`` counter (every error path goes
-        through here so the two never drift)."""
-        self.stats.count_error()
-        obs = get_registry()
-        if obs.enabled:
-            obs.counter("serve.errors").inc()
-
-    def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
-        try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ValueError("request must be a JSON object")
-        except ValueError as exc:
-            self._count_error()
-            return {"ok": False, "error": f"bad request: {exc}"}
-        op = request.get("op")
-        handler = getattr(self, f"_op_{op}", None) \
-            if isinstance(op, str) and not op.startswith("_") else None
-        if handler is None:
-            self._count_error()
-            return {"ok": False, "op": op,
-                    "error": f"unknown op {op!r}; available: map, "
-                             "map_file, ping, shutdown, stats"}
-        start = time.perf_counter()
-        try:
-            response = handler(request)
-        except Exception as exc:  # keep serving after a bad request
-            self._count_error()
-            return {"ok": False, "op": op,
-                    "error": f"{type(exc).__name__}: {exc}"}
-        elapsed = time.perf_counter() - start
-        obs = get_registry()
-        if obs.enabled:
-            obs.counter(f"serve.requests.{op}").inc()
-            obs.histogram(f"serve.request_s.{op}").observe(elapsed)
-        response.setdefault("ok", True)
-        response["op"] = op
-        response["elapsed_s"] = round(elapsed, 6)
-        return response
-
-    # -- operations ----------------------------------------------------
-
-    def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        from .registry import ENGINES, OUTPUT_FORMATS
-
-        self.stats.record("ping")
-        index = self.mapper.index
-        return {"pid": os.getpid(),
-                "uptime_s": round(self.stats.uptime_s, 3),
-                "index": index.path if index is not None else None,
-                "workers": self.mapper.config.workers,
-                "engine": self.mapper.config.engine,
-                "engines": list(ENGINES.names()),
-                "formats": list(OUTPUT_FORMATS.names()),
-                "config": self.mapper.config.to_dict()}
-
-    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        self.stats.record("stats")
-        return {"server": self.stats.to_dict(),
-                "mapper": _stats_dict(self.mapper.stats),
-                "engines": self.mapper.engine_stats(),
-                "metrics": get_registry().snapshot(),
-                "host": host_metadata()}
-
-    def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        self.stats.record("shutdown")
-        return {"goodbye": True}
-
-    @staticmethod
-    def _workload(request: Dict[str, Any]) -> tuple:
-        """The per-request engine/format overrides, validated as names.
-
-        ``None`` means "the facade's configured default" — the one
-        warm facade resolves names to (lazily-built, reused) engine
-        instances itself.  Both names are checked against their
-        registries *here*, before any mapping work, so a typo'd
-        ``format`` fails in microseconds instead of after the whole
-        request has been mapped.
-        """
-        from .registry import ENGINES, OUTPUT_FORMATS
-
-        engine = request.get("engine")
-        if engine is not None and not isinstance(engine, str):
-            raise ValueError('"engine" must be an engine name string')
-        fmt = request.get("format")
-        if fmt is not None and not isinstance(fmt, str):
-            raise ValueError('"format" must be a format name string')
-        if engine is not None:
-            ENGINES.require(engine)
-        if fmt is not None:
-            OUTPUT_FORMATS.require(fmt)
-        return engine, fmt
-
-    @staticmethod
-    def _decode_pairs(pairs) -> list:
-        if not isinstance(pairs, list):
-            raise ValueError('"pairs" must be a list of '
-                             '[read1, read2, name?] entries')
-        decoded = []
-        for number, entry in enumerate(pairs):
-            if isinstance(entry, dict):
-                read1, read2 = entry["read1"], entry["read2"]
-                name = entry.get("name", f"pair{number}")
-            else:
-                if len(entry) not in (2, 3):
-                    raise ValueError(f"pair {number}: expected "
-                                     "[read1, read2, name?]")
-                read1, read2 = entry[0], entry[1]
-                name = entry[2] if len(entry) > 2 else f"pair{number}"
-            decoded.append((encode(read1, allow_n=True),
-                            encode(read2, allow_n=True), str(name)))
-        return decoded
-
-    @staticmethod
-    def _decode_reads(reads) -> list:
-        if not isinstance(reads, list):
-            raise ValueError('"reads" must be a list of [read, name?] '
-                             "entries")
-        decoded = []
-        for number, entry in enumerate(reads):
-            if isinstance(entry, dict):
-                read = entry["read"]
-                name = entry.get("name", f"read{number}")
-            elif isinstance(entry, str):
-                read, name = entry, f"read{number}"
-            else:
-                if len(entry) not in (1, 2):
-                    raise ValueError(f"read {number}: expected "
-                                     "[read, name?]")
-                read = entry[0]
-                name = entry[1] if len(entry) > 1 else f"read{number}"
-            decoded.append((encode(read, allow_n=True), str(name)))
-        return decoded
-
-    def _op_map(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        from .engines import INPUT_SINGLE
-
-        engine_name, fmt = self._workload(request)
-        with self._map_lock:
-            engine = self.mapper.engine(engine_name)
-            if engine.input_kind == INPUT_SINGLE:
-                if "pairs" in request:
-                    raise ValueError(
-                        f'engine {engine.name!r} maps single reads; '
-                        'send "reads", not "pairs"')
-                decoded = self._decode_reads(request.get("reads"))
-            else:
-                if "reads" in request:
-                    raise ValueError(
-                        f'engine {engine.name!r} maps read pairs; '
-                        'send "pairs", not "reads"')
-                decoded = self._decode_pairs(request.get("pairs"))
-            format_name = fmt if fmt is not None \
-                else self.mapper.config.output_format
-
-            def run():
-                # The wire lines are produced by the exact same map +
-                # lines path with or without tracing — the trace flag
-                # never changes the payload bytes.
-                with span("serve.map"):
-                    results = self.mapper.map(decoded,
-                                              engine=engine.name)
-                with span("serve.render"):
-                    return list(self.mapper.lines(
-                        results, format=fmt,
-                        header=bool(request.get("header", False))))
-
-            started = time.perf_counter()
-            trace = None
-            if request.get("trace"):
-                with capture_trace() as tracer:
-                    lines = run()
-                trace = tracer.to_dicts()
-            else:
-                lines = run()
-            self._record_map_metrics(engine.name, format_name,
-                                     time.perf_counter() - started)
-            stats = _stats_dict(self.mapper.last_stats)
-        self.stats.record("map", pairs=len(decoded))
-        response = {"pairs": len(decoded), "lines": lines,
-                    "engine": engine.name, "format": format_name,
-                    "stats": stats}
-        if trace is not None:
-            response["trace"] = trace
-        if format_name == "sam":
-            response["sam"] = lines  # historical alias
-        return response
-
-    def _op_map_file(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        engine_name, fmt = self._workload(request)
-        for key in ("reads1", "out"):
-            if not isinstance(request.get(key), str):
-                raise ValueError(f'"{key}" must be a path string')
-        reads2 = request.get("reads2")
-        if reads2 is not None and not isinstance(reads2, str):
-            raise ValueError('"reads2" must be a path string (omit it '
-                             "for single-read engines)")
-        with self._map_lock:
-            engine = self.mapper.engine(engine_name)
-            format_name = fmt if fmt is not None \
-                else self.mapper.config.output_format
-
-            def run():
-                with span("serve.map"):
-                    results = self.mapper.map_file(
-                        request["reads1"], reads2, engine=engine.name)
-                    return self.mapper.write(results, request["out"],
-                                             format=fmt)
-
-            started = time.perf_counter()
-            trace = None
-            if request.get("trace"):
-                with capture_trace() as tracer:
-                    records = run()
-                trace = tracer.to_dicts()
-            else:
-                records = run()
-            self._record_map_metrics(engine.name, format_name,
-                                     time.perf_counter() - started)
-            stats = _stats_dict(self.mapper.last_stats)
-        units = _units(stats)
-        self.stats.record("map_file", pairs=units)
-        response = {"pairs": units, "records": records,
-                    "out": request["out"], "engine": engine.name,
-                    "format": format_name, "stats": stats}
-        if trace is not None:
-            response["trace"] = trace
-        return response
-
-    @staticmethod
-    def _record_map_metrics(engine_name: str, format_name: str,
-                            elapsed: float) -> None:
-        obs = get_registry()
-        if obs.enabled:
-            obs.histogram(
-                f"serve.map_s.{engine_name}.{format_name}"
-            ).observe(elapsed)
-
-
-def serve(mapper: Mapper, socket_path: PathLike,
-          install_signal_handlers: bool = True) -> MapServer:
-    """Run a :class:`MapServer` until shutdown (the CLI entry point).
-
-    Blocks in the accept loop; SIGTERM/SIGINT trigger the same
-    graceful path as a ``shutdown`` request.  Returns the (closed)
-    server so callers can read its final :attr:`MapServer.stats`.
-    """
-    server = MapServer(mapper, socket_path)
-    # Signal handlers can only be installed from the main thread; a
-    # server hosted in a background thread (tests, embedding) relies
-    # on shutdown requests instead.
-    if install_signal_handlers \
-            and threading.current_thread() is threading.main_thread():
-        import signal
-
-        def _graceful(signum, frame):
-            server.request_shutdown()
-
-        signal.signal(signal.SIGTERM, _graceful)
-        signal.signal(signal.SIGINT, _graceful)
-    server.serve_forever()
-    return server
+__all__ = ["MAX_REQUEST_BYTES", "MapServer", "ServeSettings",
+           "ServerError", "ServerStats", "serve"]

@@ -90,6 +90,32 @@ def _int_arg(flag: str, minimum: int, note: str = ""):
     return parse
 
 
+def _float_arg(flag: str, above: float, note: str = ""):
+    """Argparse type: a float strictly above a bound, with a clear
+    error (``--request-timeout`` must be positive)."""
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected a number, got {text!r}")
+        if not value > above:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be > {above:g}{note}, got {text}")
+        return value
+    return parse
+
+
+def _tcp_arg(text: str):
+    """Argparse type for ``--tcp``: a validated HOST:PORT address."""
+    from .serve.address import AddressError, require_tcp
+
+    try:
+        return require_tcp(text)
+    except AddressError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .genome import (ErrorModel, ReadSimulator, generate_reference,
                          plant_variants, write_fasta, write_fastq)
@@ -292,7 +318,7 @@ def _cmd_map_long(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .api import ServerError, serve
+    from .api import ServeSettings, ServerError, serve
 
     mapper, code = _build_mapper(args)
     if mapper is None:
@@ -301,14 +327,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if socket_path is None:
         socket_path = (args.index if args.index is not None
                        else args.reference) + ".sock"
+    settings = ServeSettings(
+        max_queue=args.max_queue,
+        max_clients=args.max_clients,
+        request_timeout_s=args.request_timeout,
+        coalesce_requests=args.coalesce_max,
+        coalesce_wait_s=args.coalesce_wait_ms / 1000.0)
     source = args.index if args.index is not None else args.reference
-    print(f"serving {source} on {socket_path} "
+    endpoints = socket_path if args.tcp is None \
+        else f"{socket_path} + tcp {args.tcp.display}"
+    print(f"serving {source} on {endpoints} "
           f"(pid {os.getpid()}, workers={args.workers}, "
-          f"batch={args.batch_size}); stop with `repro client "
+          f"batch={args.batch_size}, max-clients={args.max_clients}, "
+          f"max-queue={args.max_queue}); stop with `repro client "
           f"shutdown --socket {socket_path}` or SIGTERM",
           flush=True)
     try:
-        server = serve(mapper, socket_path)
+        server = serve(mapper, socket_path, tcp=args.tcp,
+                       settings=settings)
     except ServerError as exc:
         print(f"error: {exc}", file=sys.stderr)
         mapper.close()
@@ -810,11 +846,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve_cmd = sub.add_parser(
         "serve", help="run the persistent mapping daemon: warm index "
-                      "+ worker pool behind a UNIX socket")
+                      "+ worker pool behind a UNIX socket and/or a "
+                      "TCP endpoint, serving many clients at once")
     _add_mapper_args(serve_cmd)
     serve_cmd.add_argument("--socket", default=None,
                            help="UNIX socket path (default: "
                                 "<index|reference>.sock)")
+    serve_cmd.add_argument("--tcp", type=_tcp_arg, default=None,
+                           metavar="HOST:PORT",
+                           help="also listen on this TCP address "
+                                "(':7533' binds every interface; "
+                                "port 0 picks a free port)")
+    serve_cmd.add_argument("--max-clients",
+                           type=_int_arg("--max-clients", 1),
+                           default=64, metavar="N",
+                           help="concurrent connections before new "
+                                "ones are refused with a busy error "
+                                "(default: 64)")
+    serve_cmd.add_argument("--max-queue",
+                           type=_int_arg("--max-queue", 1),
+                           default=64, metavar="N",
+                           help="queued mapping requests before new "
+                                "ones are refused with a busy error "
+                                "(default: 64)")
+    serve_cmd.add_argument("--request-timeout",
+                           type=_float_arg(
+                               "--request-timeout", 0.0,
+                               " (per-request timeout_s can disable "
+                               "the deadline)"),
+                           default=300.0, metavar="SECONDS",
+                           help="default per-request deadline; "
+                                "expired requests answer a timeout "
+                                "error (default: 300)")
+    serve_cmd.add_argument("--coalesce-max",
+                           type=_int_arg("--coalesce-max", 1),
+                           default=16, metavar="N",
+                           help="most map requests coalesced into one "
+                                "engine run (default: 16; 1 disables "
+                                "coalescing)")
+    serve_cmd.add_argument("--coalesce-wait-ms",
+                           type=_int_arg("--coalesce-wait-ms", 0),
+                           default=0, metavar="MS",
+                           help="how long a batch waits for more "
+                                "requests before flushing (default: "
+                                "0 — coalesce only requests already "
+                                "queued, adding no idle latency)")
     serve_cmd.set_defaults(func=_cmd_serve)
 
     client_cmd = sub.add_parser(
@@ -823,7 +899,8 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("ping", "map", "stats",
                                      "shutdown"))
     client_cmd.add_argument("--socket", required=True,
-                            help="the daemon's UNIX socket path")
+                            help="the daemon's UNIX socket path or "
+                                 "TCP HOST:PORT address")
     client_cmd.add_argument("--timeout", type=float, default=None,
                             help="socket timeout in seconds (default: "
                                  "wait as long as the mapping takes)")
@@ -849,7 +926,8 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="one-shot observability snapshot from a running "
                       "daemon (server totals + metrics registry)")
     stats_cmd.add_argument("--socket", required=True,
-                           help="the daemon's UNIX socket path")
+                           help="the daemon's UNIX socket path or "
+                                "TCP HOST:PORT address")
     stats_cmd.add_argument("--timeout", type=float, default=10.0,
                            help="socket timeout in seconds")
     stats_cmd.add_argument("--json", action="store_true",
@@ -860,7 +938,8 @@ def build_parser() -> argparse.ArgumentParser:
         "top", help="live daemon dashboard: engines, request "
                     "latencies, worker utilization")
     top_cmd.add_argument("--socket", required=True,
-                         help="the daemon's UNIX socket path")
+                         help="the daemon's UNIX socket path or "
+                              "TCP HOST:PORT address")
     top_cmd.add_argument("--interval", type=float, default=2.0,
                          help="seconds between refreshes")
     top_cmd.add_argument("--count", type=int, default=0,

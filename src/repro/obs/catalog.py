@@ -48,6 +48,19 @@ STATIC_METRICS: Dict[str, Tuple[str, str]] = {
         "gauge", "worker processes in the live pool"),
     "serve.errors": (
         "counter", "daemon requests that raised"),
+    "serve.busy": (
+        "counter", "requests refused under load (queue full or "
+                   "client limit)"),
+    "serve.timeouts": (
+        "counter", "requests whose deadline expired"),
+    "serve.queue_depth": (
+        "gauge", "mapping requests waiting in the scheduler queue"),
+    "serve.queue_wait_s": (
+        "histogram", "queue wait before the scheduler ran a request"),
+    "serve.batch_requests": (
+        "histogram", "requests coalesced into each engine run"),
+    "serve.batch_items": (
+        "histogram", "workload items (pairs/reads) per coalesced run"),
 }
 
 #: Dynamic name families: ``(template, kind, description)``.  A ``*``

@@ -141,6 +141,20 @@ def render_top(reply: Dict) -> List[str]:
             f"host: python {host.get('python', '?')} on "
             f"{host.get('machine', '?')} "
             f"({host.get('cpu_count', '?')} CPUs)")
+    if "active_connections" in server:
+        lines.append(
+            f"clients: {server.get('active_connections', 0)} active "
+            f"of {server.get('connections', 0):,} total")
+    scheduler = reply.get("scheduler")
+    if scheduler:
+        lines.append(
+            f"scheduler: queue {scheduler.get('queue_depth', 0)}"
+            f"/{scheduler.get('max_queue', 0)} | batches "
+            f"{scheduler.get('batches', 0):,} | coalesced requests "
+            f"{scheduler.get('coalesced_requests', 0):,} (max batch "
+            f"{scheduler.get('max_batch_requests', 0)}) | busy "
+            f"{scheduler.get('busy_rejected', 0)} | timeouts "
+            f"{scheduler.get('timeouts', 0)}")
     by_op = server.get("by_op", {})
     if by_op:
         lines.append("ops: " + "  ".join(
@@ -165,8 +179,14 @@ def render_top(reply: Dict) -> List[str]:
         lines.append(format_table(
             ("engine", "runs", "items", "mean run", "p99 run"),
             rows, title="Engines (cumulative)"))
-    request_rows = _histogram_rows(snapshot.get("histograms", {}),
-                                   prefix="serve.")
+    # The batch-size histograms (serve.batch_requests /
+    # serve.batch_items) count requests and items, not seconds; they
+    # are summarized by the scheduler line above, not rendered as
+    # latencies.
+    request_rows = [
+        row for row in _histogram_rows(snapshot.get("histograms", {}),
+                                       prefix="serve.")
+        if not row[0].startswith("serve.batch_")]
     if request_rows:
         lines.append(format_table(
             ("histogram", "count", "mean", "p50", "p90", "p99", "max"),

@@ -1,0 +1,150 @@
+"""Accepting sockets for the serving tier: UNIX-domain and TCP.
+
+Each listener wraps one bound, listening socket with the same small
+surface — :meth:`accept` (with a short timeout so accept threads
+notice shutdown promptly), :meth:`close`, and a ``display`` string for
+logs and the ``ping`` reply.  The daemon runs one accept thread per
+listener, so one process serves the historical UNIX socket and a TCP
+endpoint simultaneously over the same scheduler.
+
+The UNIX listener keeps the PR 4 claim semantics: a stale socket file
+(machine rebooted, daemon killed ``-9``) is silently reclaimed, but a
+path that still answers connections is somebody else's live daemon and
+binding refuses.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from typing import Optional, Tuple
+
+from .address import TCP, UNIX, Address
+
+#: How often a blocked accept() wakes to check the stop flag.
+ACCEPT_POLL_S = 0.2
+
+
+class ServerError(RuntimeError):
+    """The daemon could not start (e.g. the socket is already served)."""
+
+
+class Listener:
+    """One bound, listening stream socket (see subclasses)."""
+
+    kind: str = "?"
+
+    def __init__(self, sock: socket.socket, display: str) -> None:
+        self._socket = sock
+        self.display = display
+
+    def accept(self) -> Optional[socket.socket]:
+        """One accepted connection, or ``None`` on the poll timeout
+        (callers loop and re-check their stop flag)."""
+        try:
+            conn, _ = self._socket.accept()
+        except socket.timeout:
+            return None
+        return conn
+
+    def close(self) -> None:
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class UnixListener(Listener):
+    """The historical UNIX-domain socket endpoint."""
+
+    kind = UNIX
+
+    def __init__(self, path: str, backlog: int) -> None:
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover
+            raise ServerError("repro serve requires UNIX-domain "
+                              "sockets, which this platform lacks; "
+                              "listen on --tcp instead")
+        self.path = str(path)
+        super().__init__(self._claim(backlog), self.path)
+
+    def _claim(self, backlog: int) -> socket.socket:
+        """Bind the socket path, refusing to evict a live daemon.
+
+        A stale socket file (machine rebooted, daemon killed -9) is
+        unlinked; one that still answers connections is somebody
+        else's live server.
+        """
+        if os.path.exists(self.path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.settimeout(0.5)
+            try:
+                probe.connect(self.path)
+            except OSError:
+                try:
+                    os.unlink(self.path)  # stale leftover
+                except OSError as exc:
+                    raise ServerError(
+                        f"cannot reclaim stale socket "
+                        f"{self.path!r}: {exc}") from None
+            else:
+                probe.close()
+                raise ServerError(
+                    f"{self.path!r} is already being served; "
+                    "stop that daemon first (repro client shutdown)")
+            finally:
+                probe.close()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.bind(self.path)
+            sock.listen(backlog)
+            # Wake the accept loop periodically to notice shutdown.
+            sock.settimeout(ACCEPT_POLL_S)
+        except OSError as exc:
+            sock.close()
+            raise ServerError(
+                f"cannot bind {self.path!r}: {exc}") from None
+        return sock
+
+    def close(self) -> None:
+        super().close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class TcpListener(Listener):
+    """A TCP endpoint (``repro serve --tcp HOST:PORT``)."""
+
+    kind = TCP
+
+    def __init__(self, address: Address, backlog: int) -> None:
+        host = address.host or ""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host, address.port))
+            sock.listen(backlog)
+            sock.settimeout(ACCEPT_POLL_S)
+        except OSError as exc:
+            sock.close()
+            raise ServerError(
+                f"cannot bind tcp address {address.display!r}: "
+                f"{exc}") from None
+        # Port 0 means "kernel picks"; report the resolved endpoint.
+        self.host, self.port = sock.getsockname()[:2]
+        self.address = Address(kind=TCP, host=address.host,
+                               port=self.port)
+        super().__init__(sock, self.address.display)
+
+
+def bound_endpoints(listeners) -> Tuple[dict, ...]:
+    """JSON-friendly descriptions of every listening endpoint (the
+    ``ping`` reply's ``listeners`` key and the serve banner)."""
+    described = []
+    for listener in listeners:
+        entry = {"kind": listener.kind, "address": listener.display}
+        if listener.kind == TCP:
+            entry["port"] = listener.port
+        described.append(entry)
+    return tuple(described)

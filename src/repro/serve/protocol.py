@@ -1,0 +1,192 @@
+"""The NDJSON wire protocol: request decoding, error shapes, totals.
+
+One JSON object per line, one response line per request line.  Every
+response carries ``"ok"``; a failure answers ``{"ok": false, "error":
+<message>, "error_code": <code>}`` where the code is machine-matchable
+(clients branch on it — the retry-on-``busy`` policy in
+:class:`repro.api.Client` does).  The codes:
+
+``busy``
+    The daemon's request queue (or client slot table) is full; the
+    response carries ``retry_after_s``, a backoff hint.  Retryable.
+``timeout``
+    The request's deadline expired (``stage`` says whether it was
+    still queued or already executing); the work was dropped or its
+    result discarded.  Retryable with a larger ``timeout_s``.
+``bad_request`` / ``unknown_op`` / ``oversized``
+    The request itself is malformed; retrying identical bytes fails
+    identically.
+``shutting_down``
+    The daemon is draining its queue on the way down.
+``internal``
+    The handler raised; the message carries the exception.
+
+Requests are decoded *before* they are queued, so a malformed request
+is answered in microseconds and never occupies a scheduler slot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..genome.sequence import encode
+from ..util.sync import maybe_sanitize_lock
+
+#: Largest accepted request line (a guard against a runaway client;
+#: ~64 MiB comfortably holds a few hundred thousand inline pairs).
+MAX_REQUEST_BYTES = 64 * 1024 * 1024
+
+#: Machine-matchable ``error_code`` values.
+E_BUSY = "busy"
+E_TIMEOUT = "timeout"
+E_BAD_REQUEST = "bad_request"
+E_UNKNOWN_OP = "unknown_op"
+E_OVERSIZED = "oversized"
+E_SHUTTING_DOWN = "shutting_down"
+E_INTERNAL = "internal"
+
+#: Retryable codes (the client's default retry policy consults this).
+RETRYABLE_CODES = (E_BUSY,)
+
+
+def error_reply(code: str, message: str,
+                op: Optional[str] = None,
+                **extra: Any) -> Dict[str, Any]:
+    """The one way every failure response is shaped."""
+    reply: Dict[str, Any] = {"ok": False, "error": message,
+                             "error_code": code}
+    if op is not None:
+        reply["op"] = op
+    reply.update(extra)
+    return reply
+
+
+class RequestError(ValueError):
+    """A request failed validation before any mapping work."""
+
+
+def decode_pairs(pairs) -> List[Tuple]:
+    """Inline ``pairs`` payload entries as ``(codes1, codes2, name)``."""
+    if not isinstance(pairs, list):
+        raise RequestError('"pairs" must be a list of '
+                           '[read1, read2, name?] entries')
+    decoded = []
+    for number, entry in enumerate(pairs):
+        if isinstance(entry, dict):
+            read1, read2 = entry["read1"], entry["read2"]
+            name = entry.get("name", f"pair{number}")
+        else:
+            if len(entry) not in (2, 3):
+                raise RequestError(f"pair {number}: expected "
+                                   "[read1, read2, name?]")
+            read1, read2 = entry[0], entry[1]
+            name = entry[2] if len(entry) > 2 else f"pair{number}"
+        decoded.append((encode(read1, allow_n=True),
+                        encode(read2, allow_n=True), str(name)))
+    return decoded
+
+
+def decode_reads(reads) -> List[Tuple]:
+    """Inline ``reads`` payload entries as ``(codes, name)``."""
+    if not isinstance(reads, list):
+        raise RequestError('"reads" must be a list of [read, name?] '
+                           "entries")
+    decoded = []
+    for number, entry in enumerate(reads):
+        if isinstance(entry, dict):
+            read = entry["read"]
+            name = entry.get("name", f"read{number}")
+        elif isinstance(entry, str):
+            read, name = entry, f"read{number}"
+        else:
+            if len(entry) not in (1, 2):
+                raise RequestError(f"read {number}: expected "
+                                   "[read, name?]")
+            read = entry[0]
+            name = entry[1] if len(entry) > 1 else f"read{number}"
+        decoded.append((encode(read, allow_n=True), str(name)))
+    return decoded
+
+
+def request_timeout_s(request: Dict[str, Any],
+                      default: Optional[float]) -> Optional[float]:
+    """The effective per-request deadline in seconds.
+
+    ``"timeout_s"`` overrides the server default; ``0`` (or ``null``)
+    explicitly disables the deadline for this request.  Negative or
+    non-numeric values are rejected.
+    """
+    if "timeout_s" not in request:
+        return default
+    value = request["timeout_s"]
+    if value is None:
+        return None
+    if isinstance(value, bool) \
+            or not isinstance(value, (int, float)):
+        raise RequestError('"timeout_s" must be a number of seconds')
+    if value < 0:
+        raise RequestError('"timeout_s" must be >= 0 '
+                           "(0 disables the deadline)")
+    return float(value) if value else None
+
+
+@dataclass
+class ServerStats:
+    """Aggregate request counters, reported by the ``stats`` op.
+
+    Every mutation runs under ``_lock``: connection threads record
+    concurrently, and ``requests += 1`` / ``by_op`` get-and-add are
+    exactly the lost-update shapes the RPL1002 lint flags.
+    """
+
+    started_monotonic: float = field(default_factory=time.monotonic)
+    requests: int = 0
+    errors: int = 0
+    pairs_mapped: int = 0
+    connections: int = 0
+    active_connections: int = 0
+    by_op: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=lambda: maybe_sanitize_lock("serve.stats"),
+        repr=False, compare=False)
+
+    def record(self, op: str, pairs: int = 0) -> None:
+        with self._lock:
+            self.requests += 1
+            self.pairs_mapped += pairs
+            self.by_op[op] = self.by_op.get(op, 0) + 1
+
+    def count_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def connection_opened(self, limit: Optional[int] = None) -> bool:
+        """Claim a connection slot; ``False`` when ``limit`` active
+        connections are already held (the caller answers ``busy`` and
+        closes — the check and the claim are one atomic step)."""
+        with self._lock:
+            if limit is not None and self.active_connections >= limit:
+                return False
+            self.connections += 1
+            self.active_connections += 1
+            return True
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self.active_connections -= 1
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"requests": self.requests, "errors": self.errors,
+                    "pairs_mapped": self.pairs_mapped,
+                    "connections": self.connections,
+                    "active_connections": self.active_connections,
+                    "uptime_s": round(self.uptime_s, 3),
+                    "by_op": dict(self.by_op)}

@@ -105,7 +105,8 @@ class TestProtocol:
         # A partial readline of an over-limit request must not
         # desynchronize request/response pairing: exactly one error
         # answer, then the connection drops; new connections serve on.
-        monkeypatch.setattr("repro.api.server.MAX_REQUEST_BYTES", 64)
+        monkeypatch.setattr("repro.serve.protocol.MAX_REQUEST_BYTES",
+                            64)
         raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         raw.connect(server.socket_path)
         try:

@@ -1,0 +1,75 @@
+"""Endpoint address parsing: UNIX paths vs TCP HOST:PORT."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.serve.address import (TCP, UNIX, AddressError, parse_address,
+                                 require_tcp)
+
+
+class TestParseAddress:
+    def test_plain_path_is_unix(self):
+        address = parse_address("demo.rpix.sock")
+        assert address.kind == UNIX
+        assert address.path == "demo.rpix.sock"
+
+    def test_path_object_is_unix(self, tmp_path):
+        address = parse_address(tmp_path / "d.sock")
+        assert address.kind == UNIX
+        assert address.path == str(tmp_path / "d.sock")
+
+    def test_host_port_is_tcp(self):
+        address = parse_address("127.0.0.1:7533")
+        assert address.kind == TCP
+        assert address.host == "127.0.0.1"
+        assert address.port == 7533
+
+    def test_bare_port_binds_every_interface(self):
+        address = parse_address(":7533")
+        assert address.kind == TCP
+        assert address.host == ""
+        assert address.port == 7533
+
+    def test_explicit_schemes(self):
+        assert parse_address("tcp://worker-3:9000").port == 9000
+        assert parse_address("unix://var/x.sock").path == "var/x.sock"
+
+    def test_slash_forces_unix_even_with_colon(self):
+        # A relative path like "out:v2/d.sock" must stay a file path.
+        address = parse_address("out:v2/d.sock")
+        assert address.kind == UNIX
+
+    def test_non_numeric_port_falls_back_to_unix(self):
+        # "host:name" without digits cannot be TCP; treat as a path.
+        assert parse_address("demo:sock").kind == UNIX
+
+    def test_explicit_tcp_scheme_validates_port(self):
+        with pytest.raises(AddressError, match="not an integer"):
+            parse_address("tcp://host:abc")
+        with pytest.raises(AddressError, match="0..65535"):
+            parse_address("tcp://host:70000")
+        with pytest.raises(AddressError, match="HOST:PORT"):
+            parse_address("tcp://no-port")
+
+    def test_empty_address_rejected(self):
+        with pytest.raises(AddressError, match="empty"):
+            parse_address("")
+
+    def test_display_round_trips(self):
+        for text in ("127.0.0.1:7533", ":7533"):
+            address = parse_address(text)
+            again = parse_address(address.display)
+            assert again == address
+        unix = parse_address("demo.sock")
+        assert parse_address(unix.display) == unix
+
+
+class TestRequireTcp:
+    def test_accepts_tcp_forms(self):
+        assert require_tcp("localhost:0").port == 0
+        assert require_tcp("tcp://:7533").port == 7533
+
+    def test_rejects_unix_paths(self):
+        with pytest.raises(AddressError, match="not a TCP address"):
+            require_tcp("demo.rpix.sock")
